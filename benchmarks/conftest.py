@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module corresponds to one table or figure of the paper (see
+DESIGN.md for the index).  Each module does two things:
+
+* times a real code path with ``pytest-benchmark`` (the vectorised kernel, the
+  scalar comparator filters, the mapper, the analytic models), and
+* prints the reproduced table rows so ``pytest benchmarks/ --benchmark-only -s``
+  regenerates the paper's numbers (EXPERIMENTS.md records paper vs measured).
+
+Pool sizes are scaled down from the paper's 30 million pairs; the
+``REPRO_BENCH_PAIRS`` / ``REPRO_BENCH_PAIRS_SCALAR`` environment variables
+override the defaults (see ``_bench_helpers.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulate import build_dataset
+from _bench_helpers import BENCH_PAIRS, BENCH_PAIRS_SCALAR
+
+
+@pytest.fixture(scope="session")
+def dataset_100bp():
+    """Scaled analogue of Set 3 (100 bp mrFAST candidates)."""
+    return build_dataset("Set 3", n_pairs=BENCH_PAIRS, seed=100)
+
+
+@pytest.fixture(scope="session")
+def dataset_150bp():
+    """Scaled analogue of Set 6 (150 bp mrFAST candidates)."""
+    return build_dataset("Set 6", n_pairs=BENCH_PAIRS, seed=150)
+
+
+@pytest.fixture(scope="session")
+def dataset_250bp():
+    """Scaled analogue of Set 10 (250 bp mrFAST candidates)."""
+    return build_dataset("Set 10", n_pairs=BENCH_PAIRS, seed=250)
+
+
+@pytest.fixture(scope="session")
+def low_edit_100bp():
+    """Scaled analogue of Set 1 (low-edit 100 bp comparison set)."""
+    return build_dataset("Set 1", n_pairs=BENCH_PAIRS_SCALAR, seed=1)
+
+
+@pytest.fixture(scope="session")
+def high_edit_100bp():
+    """Scaled analogue of Set 4 (high-edit 100 bp comparison set)."""
+    return build_dataset("Set 4", n_pairs=BENCH_PAIRS_SCALAR, seed=4)

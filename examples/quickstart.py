@@ -1,0 +1,53 @@
+"""Quickstart: filter a pool of read / candidate-segment pairs with GateKeeper-GPU.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a small synthetic candidate pool (the scaled analogue of
+the paper's Set 3), filters it with the GateKeeper-GPU pipeline, verifies the
+survivors with the exact edit-distance verifier, and prints how much
+verification work the filter saved.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import EncodingActor, FilteringPipeline, GateKeeperGPU
+from repro.simulate import build_dataset
+
+
+def main() -> None:
+    error_threshold = 5
+
+    # 1. A candidate pool: 2,000 read / reference-segment pairs of 100 bp,
+    #    mimicking what mrFAST's seeding stage hands to verification.
+    dataset = build_dataset("Set 3", n_pairs=2_000, seed=42)
+    print(f"Candidate pool: {dataset.n_pairs} pairs of {dataset.read_length} bp "
+          f"({dataset.n_undefined} undefined pairs containing 'N')")
+
+    # 2. The GateKeeper-GPU filter (device-side encoding, single simulated GPU).
+    gatekeeper = GateKeeperGPU(
+        read_length=dataset.read_length,
+        error_threshold=error_threshold,
+        encoding=EncodingActor.DEVICE,
+    )
+
+    # 3. Filter + verify the survivors.
+    pipeline = FilteringPipeline(gatekeeper)
+    report = pipeline.run(dataset)
+
+    print()
+    print(format_table([report.summary()], title="GateKeeper-GPU filtering report"))
+    print()
+    print(f"The filter rejected {report.rejected_pairs} of {report.n_pairs} candidate pairs "
+          f"({100 * report.reduction:.1f}% of the verification work) and the verifier confirmed "
+          f"{report.verified_accepts} genuine mappings among the survivors.")
+    print(f"Simulated kernel time: {report.filter_result.kernel_time_s * 1e3:.3f} ms, "
+          f"filter time: {report.filter_result.filter_time_s * 1e3:.3f} ms "
+          f"(analytic GTX 1080 Ti model); Python wall clock: "
+          f"{report.filter_result.wall_clock_s * 1e3:.1f} ms.")
+
+
+if __name__ == "__main__":
+    main()

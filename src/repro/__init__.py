@@ -1,0 +1,44 @@
+"""repro — a from-scratch Python reproduction of GateKeeper-GPU.
+
+GateKeeper-GPU (Bingöl et al., 2021) is a fast and accurate pre-alignment
+filter for short read mapping: it examines read / candidate-reference-segment
+pairs with a lightweight bit-parallel algorithm on a GPU and rejects pairs
+that cannot possibly be within the edit-distance threshold, sparing the mapper
+most of its expensive dynamic-programming verifications.
+
+Package map
+-----------
+``repro.genomics``  DNA alphabet, 2-bit encoding, sequence IO, reference genome.
+``repro.filters``   GateKeeper, GateKeeper-GPU, SHD, MAGNET, Shouji, SneakySnake.
+``repro.align``     Exact edit distance (Edlib-equivalent), NW, SW, verification.
+``repro.simulate``  Synthetic genomes, Mason-like reads, candidate-pair pools.
+``repro.gpusim``    Simulated GPU: devices, unified memory, occupancy, timing, power.
+``repro.core``      The GateKeeper-GPU pipeline and public :class:`GateKeeperGPU` API.
+``repro.mapper``    mrFAST-like seed-and-extend mapper with filter integration.
+``repro.analysis``  Accuracy/throughput/speedup metrics and experiment drivers.
+"""
+
+from .core.config import EncodingActor
+from .core.filter import GateKeeperGPU
+from .filters import (
+    GateKeeperFilter,
+    GateKeeperGPUFilter,
+    MagnetFilter,
+    SHDFilter,
+    ShoujiFilter,
+    SneakySnakeFilter,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EncodingActor",
+    "GateKeeperGPU",
+    "GateKeeperFilter",
+    "GateKeeperGPUFilter",
+    "MagnetFilter",
+    "SHDFilter",
+    "ShoujiFilter",
+    "SneakySnakeFilter",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Smith-Waterman local alignment.
+
+Included as the second canonical quadratic verifier the paper cites; used by
+an example to contrast local vs global verification of filtered candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LocalAlignmentResult", "smith_waterman"]
+
+
+@dataclass(frozen=True)
+class LocalAlignmentResult:
+    """Best local alignment between two sequences."""
+
+    score: int
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+    aligned_a: str
+    aligned_b: str
+
+
+def smith_waterman(
+    a: str,
+    b: str,
+    match: int = 2,
+    mismatch: int = -1,
+    gap: int = -2,
+) -> LocalAlignmentResult:
+    """Smith-Waterman local alignment with linear gap penalties."""
+    n, m = len(a), len(b)
+    score = np.zeros((n + 1, m + 1), dtype=np.int32)
+    best_score, best_pos = 0, (0, 0)
+    for i in range(1, n + 1):
+        ai = a[i - 1]
+        for j in range(1, m + 1):
+            diag = score[i - 1, j - 1] + (match if ai == b[j - 1] else mismatch)
+            up = score[i - 1, j] + gap
+            left = score[i, j - 1] + gap
+            value = max(0, diag, up, left)
+            score[i, j] = value
+            if value > best_score:
+                best_score, best_pos = int(value), (i, j)
+
+    # Traceback from the best cell until a zero cell.
+    aligned_a: list[str] = []
+    aligned_b: list[str] = []
+    i, j = best_pos
+    end_i, end_j = i, j
+    while i > 0 and j > 0 and score[i, j] > 0:
+        diag = score[i - 1, j - 1] + (match if a[i - 1] == b[j - 1] else mismatch)
+        if score[i, j] == diag:
+            aligned_a.append(a[i - 1])
+            aligned_b.append(b[j - 1])
+            i -= 1
+            j -= 1
+        elif score[i, j] == score[i - 1, j] + gap:
+            aligned_a.append(a[i - 1])
+            aligned_b.append("-")
+            i -= 1
+        else:
+            aligned_a.append("-")
+            aligned_b.append(b[j - 1])
+            j -= 1
+    return LocalAlignmentResult(
+        score=best_score,
+        a_start=i,
+        a_end=end_i,
+        b_start=j,
+        b_end=end_j,
+        aligned_a="".join(reversed(aligned_a)),
+        aligned_b="".join(reversed(aligned_b)),
+    )

@@ -1,0 +1,98 @@
+"""Accuracy metrics: false accepts, false rejects, true rejects and their rates.
+
+Terminology follows Section 4.4 of the paper:
+
+* a **false accept** is a pair that Edlib rejects (its exact edit distance
+  exceeds the threshold) but the filter accepts;
+* a **false reject** is a pair within the threshold that the filter rejects;
+* a **true reject** is rejected by both;
+* the **false accept rate** is false accepts over the pairs Edlib rejects, and
+  the **true reject rate** is true rejects over the pairs Edlib rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AccuracySummary", "evaluate_decisions", "labels_from_distances"]
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Confusion counts of one filter against the ground truth."""
+
+    n_pairs: int
+    filter_accepted: int
+    filter_rejected: int
+    truth_accepted: int
+    truth_rejected: int
+    false_accepts: int
+    false_rejects: int
+    true_accepts: int
+    true_rejects: int
+
+    @property
+    def false_accept_rate(self) -> float:
+        """False accepts over the pairs the ground truth rejects (paper's FA rate)."""
+        return self.false_accepts / self.truth_rejected if self.truth_rejected else 0.0
+
+    @property
+    def true_reject_rate(self) -> float:
+        """True rejects over the pairs the ground truth rejects."""
+        return self.true_rejects / self.truth_rejected if self.truth_rejected else 0.0
+
+    @property
+    def false_reject_rate(self) -> float:
+        """False rejects over the pairs the ground truth accepts."""
+        return self.false_rejects / self.truth_accepted if self.truth_accepted else 0.0
+
+    def as_row(self) -> dict[str, float | int]:
+        """Row form used by the reproduced tables (Sup. Tables S.2-S.12)."""
+        return {
+            "truth_accepted": self.truth_accepted,
+            "truth_rejected": self.truth_rejected,
+            "filter_accepted": self.filter_accepted,
+            "filter_rejected": self.filter_rejected,
+            "false_accepts": self.false_accepts,
+            "false_rejects": self.false_rejects,
+            "true_rejects": self.true_rejects,
+            "false_accept_rate_pct": round(100.0 * self.false_accept_rate, 2),
+            "true_reject_rate_pct": round(100.0 * self.true_reject_rate, 2),
+        }
+
+
+def labels_from_distances(
+    distances: np.ndarray, threshold: int, undefined: np.ndarray | None = None
+) -> np.ndarray:
+    """Ground-truth accept labels: distance within threshold, or undefined pair."""
+    distances = np.asarray(distances)
+    labels = distances <= threshold
+    if undefined is not None:
+        labels = labels | np.asarray(undefined, dtype=bool)
+    return labels
+
+
+def evaluate_decisions(filter_accepts: np.ndarray, truth_accepts: np.ndarray) -> AccuracySummary:
+    """Build the confusion summary from accept masks of the filter and the truth."""
+    filter_accepts = np.asarray(filter_accepts, dtype=bool)
+    truth_accepts = np.asarray(truth_accepts, dtype=bool)
+    if filter_accepts.shape != truth_accepts.shape:
+        raise ValueError("filter and truth label arrays must have the same shape")
+    n = int(filter_accepts.shape[0])
+    false_accepts = int(np.sum(filter_accepts & ~truth_accepts))
+    false_rejects = int(np.sum(~filter_accepts & truth_accepts))
+    true_accepts = int(np.sum(filter_accepts & truth_accepts))
+    true_rejects = int(np.sum(~filter_accepts & ~truth_accepts))
+    return AccuracySummary(
+        n_pairs=n,
+        filter_accepted=int(filter_accepts.sum()),
+        filter_rejected=n - int(filter_accepts.sum()),
+        truth_accepted=int(truth_accepts.sum()),
+        truth_rejected=n - int(truth_accepts.sum()),
+        false_accepts=false_accepts,
+        false_rejects=false_rejects,
+        true_accepts=true_accepts,
+        true_rejects=true_rejects,
+    )

@@ -1,0 +1,107 @@
+"""Verification / end-to-end speedup accounting (Tables 4 and 5 of the paper).
+
+The paper compares three quantities for a mapping run with a pre-alignment
+filter against the same run without one:
+
+* **theoretical speedup** — verification time would shrink in direct
+  proportion to the candidate reduction if filtering were free;
+* **achieved verification speedup** — (filter kernel time + remaining
+  verification time) versus the unfiltered verification time;
+* **overall speedup** — the whole mapping run, where the non-verification
+  stages (seeding, IO, preprocessing for the GPU filter) are unchanged or grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedupReport", "compute_speedup"]
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Speedups of one filtered mapping run relative to the unfiltered run."""
+
+    reduction: float
+    no_filter_verification_s: float
+    filtered_verification_s: float
+    filter_kernel_s: float
+    filter_preprocess_s: float
+    no_filter_overall_s: float
+    filtered_overall_s: float
+
+    @property
+    def theoretical_dp_time_s(self) -> float:
+        """Verification time if it shrank exactly with the reduction."""
+        return self.no_filter_verification_s * (1.0 - self.reduction)
+
+    @property
+    def theoretical_speedup(self) -> float:
+        remaining = self.theoretical_dp_time_s
+        return self.no_filter_verification_s / remaining if remaining > 0 else float("inf")
+
+    @property
+    def filtering_plus_dp_time_s(self) -> float:
+        return self.filter_kernel_s + self.filtered_verification_s
+
+    @property
+    def achieved_verification_speedup(self) -> float:
+        denominator = self.filtering_plus_dp_time_s
+        return self.no_filter_verification_s / denominator if denominator > 0 else float("inf")
+
+    @property
+    def overall_speedup(self) -> float:
+        return (
+            self.no_filter_overall_s / self.filtered_overall_s
+            if self.filtered_overall_s > 0
+            else float("inf")
+        )
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "reduction_pct": round(100.0 * self.reduction, 1),
+            "no_filter_dp_h": round(self.no_filter_verification_s / 3600.0, 3),
+            "theoretical_dp_h": round(self.theoretical_dp_time_s / 3600.0, 3),
+            "theoretical_speedup": round(self.theoretical_speedup, 1),
+            "filtering_plus_dp_h": round(self.filtering_plus_dp_time_s / 3600.0, 3),
+            "achieved_dp_speedup": round(self.achieved_verification_speedup, 1),
+            "no_filter_overall_h": round(self.no_filter_overall_s / 3600.0, 3),
+            "filtered_overall_h": round(self.filtered_overall_s / 3600.0, 3),
+            "overall_speedup": round(self.overall_speedup, 2),
+        }
+
+
+def compute_speedup(
+    n_candidate_pairs: int,
+    n_surviving_pairs: int,
+    verification_cost_per_pair_s: float,
+    filter_kernel_s: float,
+    filter_preprocess_s: float,
+    other_mapping_time_s: float,
+) -> SpeedupReport:
+    """Build a :class:`SpeedupReport` from pair counts and modelled stage costs.
+
+    ``other_mapping_time_s`` covers everything that is identical with and
+    without the filter (seeding, IO, reporting); the filtered run additionally
+    pays ``filter_preprocess_s`` (buffer preparation, encoding) and the filter
+    kernel time.
+    """
+    if n_candidate_pairs <= 0:
+        raise ValueError("n_candidate_pairs must be positive")
+    if n_surviving_pairs < 0 or n_surviving_pairs > n_candidate_pairs:
+        raise ValueError("n_surviving_pairs must be within [0, n_candidate_pairs]")
+    no_filter_dp = n_candidate_pairs * verification_cost_per_pair_s
+    filtered_dp = n_surviving_pairs * verification_cost_per_pair_s
+    reduction = 1.0 - (n_surviving_pairs / n_candidate_pairs)
+    return SpeedupReport(
+        reduction=reduction,
+        no_filter_verification_s=no_filter_dp,
+        filtered_verification_s=filtered_dp,
+        filter_kernel_s=filter_kernel_s,
+        filter_preprocess_s=filter_preprocess_s,
+        no_filter_overall_s=no_filter_dp + other_mapping_time_s,
+        filtered_overall_s=filtered_dp
+        + filter_kernel_s
+        + filter_preprocess_s
+        + other_mapping_time_s,
+    )

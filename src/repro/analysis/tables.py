@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "print_table"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}" if abs(value) < 100 else f"{value:.1f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cell[i]) for cell in table)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for cell in table:
+        lines.append("  ".join(cell[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[object, object], x_label: str = "x", y_label: str = "y") -> str:
+    """Render an x -> y mapping (a figure's data series) as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in series.items()]
+    return format_table(rows, columns=[x_label, y_label])
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Convenience: format and print a table."""
+    print(format_table(rows, columns=columns, title=title))

@@ -1,0 +1,76 @@
+"""Filtering throughput conversions (Section 4.3 / Table 2 of the paper).
+
+The paper reports throughput in two units: billions of filtrations completed
+in a 40-minute window (Table 2) and millions of filtrations per second
+(Figures 6-8).  Both are derived from the measured (here: modelled) time to
+filter a known number of pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FORTY_MINUTES_S",
+    "pairs_per_second",
+    "millions_per_second",
+    "billions_in_40_minutes",
+    "ThroughputEntry",
+]
+
+FORTY_MINUTES_S = 40.0 * 60.0
+
+
+def pairs_per_second(n_pairs: int, elapsed_s: float) -> float:
+    """Raw throughput in filtrations per second."""
+    if elapsed_s <= 0:
+        raise ValueError("elapsed_s must be positive")
+    return n_pairs / elapsed_s
+
+
+def millions_per_second(n_pairs: int, elapsed_s: float) -> float:
+    """Throughput in millions of filtrations per second (Figures 6-8)."""
+    return pairs_per_second(n_pairs, elapsed_s) / 1e6
+
+
+def billions_in_40_minutes(n_pairs: int, elapsed_s: float) -> float:
+    """Filtrations completed in 40 minutes, in billions (Table 2)."""
+    return pairs_per_second(n_pairs, elapsed_s) * FORTY_MINUTES_S / 1e9
+
+
+@dataclass(frozen=True)
+class ThroughputEntry:
+    """One cell of the throughput tables."""
+
+    label: str
+    n_pairs: int
+    kernel_time_s: float
+    filter_time_s: float
+
+    @property
+    def kernel_throughput_b40(self) -> float:
+        return billions_in_40_minutes(self.n_pairs, self.kernel_time_s)
+
+    @property
+    def filter_throughput_b40(self) -> float:
+        return billions_in_40_minutes(self.n_pairs, self.filter_time_s)
+
+    @property
+    def kernel_throughput_mps(self) -> float:
+        return millions_per_second(self.n_pairs, self.kernel_time_s)
+
+    @property
+    def filter_throughput_mps(self) -> float:
+        return millions_per_second(self.n_pairs, self.filter_time_s)
+
+    def as_row(self) -> dict[str, float | str | int]:
+        return {
+            "label": self.label,
+            "n_pairs": self.n_pairs,
+            "kernel_time_s": round(self.kernel_time_s, 3),
+            "filter_time_s": round(self.filter_time_s, 3),
+            "kernel_b40": round(self.kernel_throughput_b40, 1),
+            "filter_b40": round(self.filter_throughput_b40, 1),
+            "kernel_mps": round(self.kernel_throughput_mps, 1),
+            "filter_mps": round(self.filter_throughput_mps, 1),
+        }

@@ -1,0 +1,121 @@
+"""Command line entry points.
+
+Three commands are installed with the package:
+
+``repro-filter``
+    Filter a candidate-pair pool (synthetic or from TSV) with GateKeeper-GPU
+    and report the reduction and timing.
+``repro-map``
+    Run the mrFAST-like mapper over a simulated read set with or without the
+    pre-alignment filter.
+``repro-experiment``
+    Regenerate one of the paper's tables / figures by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import experiments, format_table
+from .core.config import EncodingActor
+from .core.filter import GateKeeperGPU
+from .gpusim.device import SETUP_1, SETUP_2
+from .simulate.datasets import DEFAULT_N_PAIRS, PAPER_DATASETS, build_dataset
+
+__all__ = ["filter_main", "map_main", "experiment_main"]
+
+
+def _setup(name: str):
+    return {"setup1": SETUP_1, "setup2": SETUP_2}[name]
+
+
+# --------------------------------------------------------------------------- #
+# repro-filter
+# --------------------------------------------------------------------------- #
+def filter_main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="GateKeeper-GPU pre-alignment filtering")
+    parser.add_argument("--dataset", default="Set 1", choices=sorted(PAPER_DATASETS))
+    parser.add_argument("--pairs", type=int, default=DEFAULT_N_PAIRS)
+    parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument("--encoding", choices=["host", "device"], default="device")
+    parser.add_argument("--setup", choices=["setup1", "setup2"], default="setup1")
+    parser.add_argument("--devices", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    dataset = build_dataset(args.dataset, n_pairs=args.pairs, seed=args.seed)
+    gatekeeper = GateKeeperGPU(
+        read_length=dataset.read_length,
+        error_threshold=args.error_threshold,
+        setup=_setup(args.setup),
+        n_devices=args.devices,
+        encoding=EncodingActor(args.encoding),
+    )
+    result = gatekeeper.filter_dataset(dataset)
+    print(format_table([result.summary()], title=f"GateKeeper-GPU on {dataset.name}"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-map
+# --------------------------------------------------------------------------- #
+def map_main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="mrFAST-like mapping with pre-alignment filtering")
+    parser.add_argument("--reads", type=int, default=300)
+    parser.add_argument("--read-length", type=int, default=100)
+    parser.add_argument("--genome-length", type=int, default=50_000)
+    parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument("--no-filter", action="store_true", help="disable pre-alignment filtering")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    run = experiments.run_whole_genome(
+        n_reads=args.reads,
+        read_length=args.read_length,
+        genome_length=args.genome_length,
+        error_threshold=args.error_threshold,
+        seed=args.seed,
+    )
+    rows = experiments.whole_genome_mapping_rows(run)
+    if args.no_filter:
+        rows = rows[:1]
+    print(format_table(rows, title="Whole-genome mapping information"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-experiment
+# --------------------------------------------------------------------------- #
+_EXPERIMENTS = {
+    "table1": lambda: experiments.table1_batch_size_rows(),
+    "table2": lambda: experiments.table2_throughput_rows(),
+    "table4": lambda: experiments.table4_speedup_rows(reduction=0.90),
+    "table5": lambda: experiments.table5_overall_rows(reduction=0.90),
+    "table6": lambda: experiments.table6_power_rows(),
+    "fig4": lambda: experiments.false_accept_rows(
+        build_dataset("Set 3", n_pairs=1_000), thresholds=range(0, 11)
+    ),
+    "fig5": lambda: experiments.filter_comparison_rows(
+        build_dataset("Set 1", n_pairs=300), thresholds=(0, 2, 5, 10), max_pairs=300
+    ),
+    "fig6": lambda: experiments.encoding_actor_rows(),
+    "fig7": lambda: experiments.read_length_rows(),
+    "fig8": lambda: experiments.multi_gpu_rows(),
+    "figS12": lambda: experiments.error_threshold_filter_time_rows(),
+    "occupancy": lambda: experiments.occupancy_rows(),
+}
+
+
+def experiment_main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate a table/figure from the paper")
+    parser.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment to run")
+    args = parser.parse_args(argv)
+    rows = _EXPERIMENTS[args.name]()
+    print(format_table(rows, title=f"Reproduction of {args.name}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(experiment_main())

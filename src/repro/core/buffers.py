@@ -1,0 +1,111 @@
+"""Resource allocation for the filtering pipeline (paper Section 3.2).
+
+One :class:`FiltrationBuffers` instance owns the unified-memory buffers of a
+single device: the read buffer, the candidate reference segments (or their
+indices into the pre-loaded reference), and the two result buffers (decision
+flag and approximated edit distance).  Memory advice and asynchronous
+prefetching are applied when the device supports them; on Kepler devices both
+are silently skipped, exactly as the CUDA implementation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.memory import MemoryAdvice, UnifiedMemoryManager
+from ..gpusim.stream import StreamPool
+from .config import EncodingActor, SystemConfiguration
+
+__all__ = ["BufferPlan", "FiltrationBuffers"]
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """Byte sizes of the per-batch unified-memory buffers."""
+
+    read_buffer: int
+    reference_buffer: int
+    result_flags: int
+    result_distances: int
+
+    @property
+    def total(self) -> int:
+        return self.read_buffer + self.reference_buffer + self.result_flags + self.result_distances
+
+
+def plan_buffers(config: SystemConfiguration, batch_pairs: int) -> BufferPlan:
+    """Compute the buffer sizes for a batch of ``batch_pairs`` filtrations."""
+    length = config.read_length
+    if config.encoding is EncodingActor.HOST:
+        word_bytes = config.word_bits // 8
+        from ..genomics.encoding import words_per_read
+
+        per_seq = words_per_read(length, config.word_bits) * word_bytes
+    else:
+        per_seq = length  # raw ASCII is staged and encoded by the kernel
+    return BufferPlan(
+        read_buffer=batch_pairs * per_seq,
+        reference_buffer=batch_pairs * per_seq,
+        result_flags=batch_pairs,  # one byte per decision
+        result_distances=batch_pairs * 4,  # int32 approximate distance
+    )
+
+
+class FiltrationBuffers:
+    """Unified-memory buffers of one device plus their advice/prefetch state."""
+
+    def __init__(self, device: DeviceSpec, config: SystemConfiguration, batch_pairs: int):
+        self.device = device
+        self.config = config
+        self.plan = plan_buffers(config, batch_pairs)
+        self.memory = UnifiedMemoryManager(device)
+        self.streams = StreamPool()
+        self._allocate()
+
+    def _allocate(self) -> None:
+        self.memory.allocate("reads", self.plan.read_buffer)
+        self.memory.allocate("references", self.plan.reference_buffer)
+        self.memory.allocate("result_flags", self.plan.result_flags)
+        self.memory.allocate("result_distances", self.plan.result_distances)
+
+    # ------------------------------------------------------------------ #
+    # Advice and prefetch (no-ops on devices without support)
+    # ------------------------------------------------------------------ #
+    def apply_memory_advice(self) -> bool:
+        """Prefer the device for kernel inputs; returns False if unsupported."""
+        ok = self.memory.advise("reads", MemoryAdvice.PREFERRED_LOCATION_DEVICE)
+        ok &= self.memory.advise("references", MemoryAdvice.PREFERRED_LOCATION_DEVICE)
+        return bool(ok)
+
+    def prefetch_inputs(self, transfer_time_s: float = 0.0) -> bool:
+        """Prefetch the input buffers, each on its own stream.
+
+        Returns False when the device lacks prefetch support, in which case
+        the pages will fault-migrate during the kernel (charged by the timing
+        model).
+        """
+        supported = True
+        for name in ("reads", "references"):
+            stream = self.streams.create()
+            if self.memory.prefetch_async(name):
+                stream.enqueue("prefetch", name, transfer_time_s / 2.0)
+            else:
+                supported = False
+        return supported
+
+    def kernel_touch(self) -> None:
+        """Mark every input buffer as touched by the kernel (migrating if needed)."""
+        for name in ("reads", "references"):
+            self.memory.touch_on_device(name)
+        for name in ("result_flags", "result_distances"):
+            self.memory.touch_on_device(name)
+
+    def collect_results(self) -> None:
+        """Host reads the result buffers back after synchronisation."""
+        for name in ("result_flags", "result_distances"):
+            self.memory.touch_on_host(name)
+
+    @property
+    def migration_stats(self):
+        return self.memory.stats

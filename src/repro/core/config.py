@@ -1,0 +1,127 @@
+"""System configuration stage of GateKeeper-GPU (paper Section 3.1).
+
+Before filtering, GateKeeper-GPU inspects the system: device compute
+capability (which gates memory advice / prefetching), free global memory, and
+the compile-time parameters (read length, error threshold).  From those it
+derives every internal parameter — the per-thread memory load, the number of
+thread blocks and the batch size (filtrations per kernel call) — so that the
+user never has to tune the launch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..gpusim.device import DeviceSpec, GTX_1080_TI, SystemSetup
+from ..gpusim.launch import KernelLaunchConfig, configure_launch, thread_load_bytes
+
+__all__ = ["EncodingActor", "SystemConfiguration"]
+
+
+class EncodingActor(enum.Enum):
+    """Who performs the 2-bit encoding of the sequences (paper Section 3.3)."""
+
+    HOST = "host"
+    DEVICE = "device"
+
+
+@dataclass
+class SystemConfiguration:
+    """Resolved configuration of a GateKeeper-GPU run.
+
+    Parameters
+    ----------
+    read_length, error_threshold:
+        The two compile-time parameters of the CUDA implementation.
+    devices:
+        Devices that will participate (all identical in the paper's setups).
+    encoding:
+        Whether the host or the device encodes the sequences.
+    max_reads_per_batch:
+        Upper bound on reads per batch when integrated in a mapper
+        (Table 1 studies this knob; 100,000 is the paper's best value).
+    word_bits:
+        Machine word width used for the encoded bit-vectors.
+    """
+
+    read_length: int
+    error_threshold: int
+    devices: list[DeviceSpec] = field(default_factory=lambda: [GTX_1080_TI])
+    encoding: EncodingActor = EncodingActor.DEVICE
+    max_reads_per_batch: int = 100_000
+    word_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.read_length <= 0:
+            raise ValueError("read_length must be positive")
+        if self.error_threshold < 0:
+            raise ValueError("error_threshold must be non-negative")
+        if self.error_threshold > self.read_length:
+            raise ValueError("error_threshold cannot exceed the read length")
+        if not self.devices:
+            raise ValueError("at least one device is required")
+        if self.word_bits not in (32, 64):
+            raise ValueError("word_bits must be 32 or 64")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_setup(
+        cls,
+        setup: SystemSetup,
+        read_length: int,
+        error_threshold: int,
+        n_devices: int = 1,
+        encoding: EncodingActor = EncodingActor.DEVICE,
+        max_reads_per_batch: int = 100_000,
+    ) -> "SystemConfiguration":
+        """Configuration for one of the paper's experimental setups."""
+        return cls(
+            read_length=read_length,
+            error_threshold=error_threshold,
+            devices=setup.devices(n_devices),
+            encoding=encoding,
+            max_reads_per_batch=max_reads_per_batch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def primary_device(self) -> DeviceSpec:
+        return self.devices[0]
+
+    @property
+    def prefetch_enabled(self) -> bool:
+        """Prefetch/advice are used only when every device supports them."""
+        return all(d.supports_prefetch for d in self.devices)
+
+    @property
+    def thread_load(self) -> int:
+        """Approximate bytes of memory one filtration needs on a thread."""
+        return thread_load_bytes(self.read_length, self.error_threshold, word_bits=32)
+
+    def launch_config(self, n_filtrations: int) -> KernelLaunchConfig:
+        """Launch geometry / batch size for ``n_filtrations`` pending pairs.
+
+        In the multi-GPU model each device receives an equal share, so the
+        per-device batch is computed from the per-device share of the work.
+        """
+        per_device = -(-n_filtrations // self.n_devices) if n_filtrations else 0
+        return configure_launch(
+            self.primary_device,
+            per_device,
+            self.read_length,
+            self.error_threshold,
+            word_bits=32,
+        )
+
+    def batch_size(self, n_filtrations: int) -> int:
+        """Number of filtrations one kernel call processes per device."""
+        return self.launch_config(n_filtrations).batch_size

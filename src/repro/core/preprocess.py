@@ -1,0 +1,95 @@
+"""Preprocessing: batching and (host- or device-side) encoding (paper Section 3.3).
+
+Reads and candidate segments are gathered into batches sized by the system
+configuration.  With host encoding, the 2-bit word packing happens here and
+the compact words travel to the device; with device encoding, raw sequences
+are staged and the kernel encodes them (more parallel, more transfer bytes).
+Pairs containing ``N`` are flagged *undefined* and bypass filtration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..genomics.encoding import encode_batch_codes, pack_codes_to_words
+from .config import EncodingActor, SystemConfiguration
+
+__all__ = ["PreparedBatch", "prepare_batches", "encode_pair_arrays"]
+
+
+@dataclass
+class PreparedBatch:
+    """One batch of pairs staged for a kernel call.
+
+    ``read_codes`` / ``ref_codes`` are per-base code arrays (always present —
+    they are the functional payload).  ``read_words`` / ``ref_words`` are the
+    packed word arrays and are only populated when the host performed the
+    encoding; with device encoding the kernel derives them itself.
+    """
+
+    start: int
+    read_codes: np.ndarray
+    ref_codes: np.ndarray
+    undefined: np.ndarray
+    read_words: np.ndarray | None = None
+    ref_words: np.ndarray | None = None
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.read_codes.shape[0])
+
+    @property
+    def host_encoded(self) -> bool:
+        return self.read_words is not None
+
+
+def encode_pair_arrays(
+    reads: Sequence[str], segments: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Encode reads and segments to code arrays plus a combined undefined mask."""
+    read_codes, read_undef = encode_batch_codes(list(reads))
+    ref_codes, ref_undef = encode_batch_codes(list(segments))
+    return read_codes, ref_codes, (read_undef | ref_undef)
+
+
+def prepare_batches(
+    reads: Sequence[str],
+    segments: Sequence[str],
+    config: SystemConfiguration,
+    batch_size: int | None = None,
+) -> Iterator[PreparedBatch]:
+    """Yield :class:`PreparedBatch` objects covering all pairs in order.
+
+    ``batch_size`` defaults to the configuration's batch size for the full
+    work list (bounded by device memory and by ``max_reads_per_batch``).
+    """
+    if len(reads) != len(segments):
+        raise ValueError("reads and segments must have the same length")
+    n = len(reads)
+    if n == 0:
+        return
+    if batch_size is None:
+        batch_size = min(
+            config.batch_size(n) or n,
+            config.max_reads_per_batch,
+        )
+    batch_size = max(1, batch_size)
+    for start in range(0, n, batch_size):
+        chunk_reads = list(reads[start : start + batch_size])
+        chunk_segments = list(segments[start : start + batch_size])
+        read_codes, ref_codes, undefined = encode_pair_arrays(chunk_reads, chunk_segments)
+        read_words = ref_words = None
+        if config.encoding is EncodingActor.HOST:
+            read_words = pack_codes_to_words(read_codes, word_bits=config.word_bits)
+            ref_words = pack_codes_to_words(ref_codes, word_bits=config.word_bits)
+        yield PreparedBatch(
+            start=start,
+            read_codes=read_codes,
+            ref_codes=ref_codes,
+            undefined=undefined,
+            read_words=read_words,
+            ref_words=ref_words,
+        )

@@ -1,0 +1,87 @@
+"""Result containers of a GateKeeper-GPU filtering run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim.timing import FilterTiming
+
+__all__ = ["FilterRunResult"]
+
+
+@dataclass
+class FilterRunResult:
+    """Decisions, estimates and timing of one full filtering run.
+
+    Attributes
+    ----------
+    accepted:
+        Boolean array, True where the pair passes to verification.
+    estimated_edits:
+        The filter's approximate edit distance per pair (0 for undefined pairs).
+    undefined:
+        Boolean array marking pairs that contained an ``N`` base.
+    kernel_time_s / filter_time_s:
+        Simulated device-only and host-perspective times from the analytic
+        timing model (the paper's two reported measurements).
+    wall_clock_s:
+        Actual Python wall-clock time of the vectorised kernel execution.
+    timing:
+        Full decomposition of the simulated filter time.
+    n_batches:
+        Number of kernel calls the run was split into.
+    """
+
+    accepted: np.ndarray
+    estimated_edits: np.ndarray
+    undefined: np.ndarray
+    kernel_time_s: float
+    filter_time_s: float
+    wall_clock_s: float
+    timing: FilterTiming
+    n_batches: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pairs(self) -> int:
+        return int(self.accepted.shape[0])
+
+    @property
+    def n_accepted(self) -> int:
+        return int(self.accepted.sum())
+
+    @property
+    def n_rejected(self) -> int:
+        return self.n_pairs - self.n_accepted
+
+    @property
+    def n_undefined(self) -> int:
+        return int(self.undefined.sum())
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of pairs removed before verification (the paper's "reduction")."""
+        return self.n_rejected / self.n_pairs if self.n_pairs else 0.0
+
+    def accepted_indices(self) -> np.ndarray:
+        """Indices of pairs that must still be verified."""
+        return np.flatnonzero(self.accepted)
+
+    def summary(self) -> dict[str, float | int]:
+        """Compact dictionary used by the analysis tables."""
+        return {
+            "n_pairs": self.n_pairs,
+            "n_accepted": self.n_accepted,
+            "n_rejected": self.n_rejected,
+            "n_undefined": self.n_undefined,
+            "rejection_rate": round(self.rejection_rate, 6),
+            "kernel_time_s": self.kernel_time_s,
+            "filter_time_s": self.filter_time_s,
+            "wall_clock_s": self.wall_clock_s,
+            "n_batches": self.n_batches,
+        }

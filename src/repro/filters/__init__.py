@@ -1,0 +1,71 @@
+"""Pre-alignment filters: GateKeeper-GPU and the published comparators."""
+
+from .base import FilterDecision, FilterResult, PreAlignmentFilter
+from .batch import (
+    BatchFilterOutput,
+    amend_masks_batch,
+    estimate_edits_batch,
+    gatekeeper_batch,
+    gatekeeper_batch_from_strings,
+    shifted_mismatch_batch,
+)
+from .bitvector import (
+    amend_mask,
+    count_one_runs,
+    count_set_windows,
+    hamming_mask,
+    longest_zero_run,
+    shifted_mask,
+    zero_run_lengths,
+)
+from .cpu import CpuFilterResult, GateKeeperCPU
+from .gatekeeper import GateKeeperFilter
+from .gatekeeper_gpu import GateKeeperGPUFilter
+from .magnet import MagnetFilter
+from .masks import EdgePolicy, MaskSet, build_mask_set, final_bitvector
+from .shd import SHDFilter
+from .shouji import ShoujiFilter, neighborhood_map
+from .sneakysnake import SneakySnakeFilter
+
+#: All comparator filters by their display name, in the order the paper plots them.
+FILTER_REGISTRY = {
+    "GateKeeper-GPU": GateKeeperGPUFilter,
+    "GateKeeper": GateKeeperFilter,
+    "SHD": SHDFilter,
+    "MAGNET": MagnetFilter,
+    "Shouji": ShoujiFilter,
+    "SneakySnake": SneakySnakeFilter,
+}
+
+__all__ = [
+    "FilterDecision",
+    "FilterResult",
+    "PreAlignmentFilter",
+    "BatchFilterOutput",
+    "amend_masks_batch",
+    "estimate_edits_batch",
+    "gatekeeper_batch",
+    "gatekeeper_batch_from_strings",
+    "shifted_mismatch_batch",
+    "amend_mask",
+    "count_one_runs",
+    "count_set_windows",
+    "hamming_mask",
+    "longest_zero_run",
+    "shifted_mask",
+    "zero_run_lengths",
+    "CpuFilterResult",
+    "GateKeeperCPU",
+    "GateKeeperFilter",
+    "GateKeeperGPUFilter",
+    "MagnetFilter",
+    "EdgePolicy",
+    "MaskSet",
+    "build_mask_set",
+    "final_bitvector",
+    "SHDFilter",
+    "ShoujiFilter",
+    "neighborhood_map",
+    "SneakySnakeFilter",
+    "FILTER_REGISTRY",
+]

@@ -1,0 +1,199 @@
+"""Vectorised (batched) implementations of the GateKeeper-family filters.
+
+The CUDA kernel of GateKeeper-GPU assigns one filtration to one GPU thread;
+the natural NumPy analogue is to lay the batch out as a ``(n_pairs, n_bases)``
+array of 2-bit codes and evaluate every pair of the batch simultaneously with
+array operations.  This module is the computational core used by
+:mod:`repro.core.kernel` (which adds the word-packing, carry handling and
+device bookkeeping) and by the CPU baseline (GateKeeper-CPU) used in the
+throughput experiments.
+
+All functions return both the estimated edit count and the accept decision
+for every pair.  Pairs flagged ``undefined`` (containing ``N``) are accepted
+with an estimate of 0, matching the paper's direct-pass design choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics.encoding import encode_batch_codes
+from .masks import EdgePolicy
+
+__all__ = [
+    "BatchFilterOutput",
+    "amend_masks_batch",
+    "shifted_mismatch_batch",
+    "gatekeeper_batch",
+    "gatekeeper_batch_from_strings",
+    "estimate_edits_batch",
+]
+
+
+@dataclass(frozen=True)
+class BatchFilterOutput:
+    """Result of filtering a batch of pairs."""
+
+    estimated_edits: np.ndarray  # (n_pairs,) int32
+    accepted: np.ndarray  # (n_pairs,) bool
+    undefined: np.ndarray  # (n_pairs,) bool
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.estimated_edits.shape[0])
+
+    @property
+    def n_accepted(self) -> int:
+        return int(self.accepted.sum())
+
+    @property
+    def n_rejected(self) -> int:
+        return self.n_pairs - self.n_accepted
+
+
+def shifted_mismatch_batch(
+    read_codes: np.ndarray, ref_codes: np.ndarray, shift: int, vacant_value: int = 0
+) -> np.ndarray:
+    """Batched version of :func:`repro.filters.bitvector.shifted_mask`.
+
+    ``read_codes`` and ``ref_codes`` are ``(n_pairs, n_bases)`` arrays.
+    """
+    n = read_codes.shape[1]
+    out = np.full(read_codes.shape, vacant_value, dtype=np.uint8)
+    k = abs(shift)
+    if k >= n:
+        return out
+    if shift > 0:
+        out[:, k:] = (read_codes[:, : n - k] != ref_codes[:, k:]).astype(np.uint8)
+    elif shift < 0:
+        out[:, : n - k] = (read_codes[:, k:] != ref_codes[:, : n - k]).astype(np.uint8)
+    else:
+        out[:] = (read_codes != ref_codes).astype(np.uint8)
+    return out
+
+
+def amend_masks_batch(masks: np.ndarray, max_zero_run: int = 2) -> np.ndarray:
+    """Amend a batch of masks: flip 0-runs of length <= ``max_zero_run`` flanked by 1s.
+
+    ``masks`` has shape ``(..., n_bases)``; the amendment is applied along the
+    last axis.  Only runs of length 1 and 2 are supported (the values used by
+    GateKeeper); longer settings fall back to a loop-free cascade of the same
+    two patterns which matches the scalar implementation for ``max_zero_run``
+    in ``{1, 2}``.
+    """
+    if max_zero_run not in (1, 2):
+        raise ValueError("amend_masks_batch supports max_zero_run of 1 or 2")
+    m = masks.astype(bool)
+    n = m.shape[-1]
+    amended = m.copy()
+    if n >= 3:
+        # Single-zero runs: 1 0 1 -> 1 1 1
+        single = (~m[..., 1:-1]) & m[..., :-2] & m[..., 2:]
+        amended[..., 1:-1] |= single
+    if max_zero_run >= 2 and n >= 4:
+        # Double-zero runs: 1 0 0 1 -> 1 1 1 1
+        double_start = (~m[..., 1:-2]) & (~m[..., 2:-1]) & m[..., :-3] & m[..., 3:]
+        amended[..., 1:-2] |= double_start
+        amended[..., 2:-1] |= double_start
+    return amended.astype(np.uint8)
+
+
+def _force_vacant_edges(masks: np.ndarray, shifts: list[int]) -> None:
+    """Set the vacated edge positions of each shifted mask to 1 (in place)."""
+    n = masks.shape[-1]
+    for row, shift in enumerate(shifts):
+        if shift == 0:
+            continue
+        k = min(abs(shift), n)
+        if shift > 0:
+            masks[row, :, :k] = 1
+        else:
+            masks[row, :, n - k :] = 1
+
+
+def estimate_edits_batch(
+    read_codes: np.ndarray,
+    ref_codes: np.ndarray,
+    error_threshold: int,
+    edge_policy: str = EdgePolicy.ONE,
+    count_window: int = 4,
+    max_zero_run: int = 2,
+) -> np.ndarray:
+    """Estimated edit count of every pair in the batch (GateKeeper pipeline).
+
+    Parameters mirror :class:`repro.filters.gatekeeper.GateKeeperFilter`.
+    """
+    read_codes = np.asarray(read_codes, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    if read_codes.shape != ref_codes.shape:
+        raise ValueError("read and reference code arrays must have the same shape")
+    n_pairs, n = read_codes.shape
+    e = int(error_threshold)
+    shifts = [0] + [s for k in range(1, e + 1) for s in (k, -k)]
+    masks = np.empty((len(shifts), n_pairs, n), dtype=np.uint8)
+    for row, shift in enumerate(shifts):
+        masks[row] = shifted_mismatch_batch(read_codes, ref_codes, shift, vacant_value=0)
+    masks = amend_masks_batch(masks, max_zero_run=max_zero_run)
+    if edge_policy == EdgePolicy.ONE:
+        _force_vacant_edges(masks, shifts)
+    final = np.bitwise_and.reduce(masks, axis=0)
+    # Windowed LUT count: one edit per window containing a set bit.
+    n_windows = -(-n // count_window)
+    padded = np.zeros((n_pairs, n_windows * count_window), dtype=np.uint8)
+    padded[:, :n] = final
+    windows_hit = np.any(padded.reshape(n_pairs, n_windows, count_window), axis=2)
+    return windows_hit.sum(axis=1).astype(np.int32)
+
+
+def gatekeeper_batch(
+    read_codes: np.ndarray,
+    ref_codes: np.ndarray,
+    error_threshold: int,
+    undefined: np.ndarray | None = None,
+    edge_policy: str = EdgePolicy.ONE,
+    count_window: int = 4,
+    max_zero_run: int = 2,
+) -> BatchFilterOutput:
+    """Filter a batch of pairs given their per-base code arrays."""
+    estimates = estimate_edits_batch(
+        read_codes,
+        ref_codes,
+        error_threshold,
+        edge_policy=edge_policy,
+        count_window=count_window,
+        max_zero_run=max_zero_run,
+    )
+    n_pairs = estimates.shape[0]
+    if undefined is None:
+        undefined = np.zeros(n_pairs, dtype=bool)
+    undefined = np.asarray(undefined, dtype=bool)
+    estimates = np.where(undefined, 0, estimates).astype(np.int32)
+    accepted = undefined | (estimates <= error_threshold)
+    return BatchFilterOutput(estimated_edits=estimates, accepted=accepted, undefined=undefined)
+
+
+def gatekeeper_batch_from_strings(
+    reads: list[str],
+    segments: list[str],
+    error_threshold: int,
+    edge_policy: str = EdgePolicy.ONE,
+    count_window: int = 4,
+    max_zero_run: int = 2,
+) -> BatchFilterOutput:
+    """Filter a batch of pairs given as strings (handles ``N`` / undefined pairs)."""
+    if len(reads) != len(segments):
+        raise ValueError("reads and segments must have the same length")
+    read_codes, read_undef = encode_batch_codes(reads)
+    ref_codes, ref_undef = encode_batch_codes(segments)
+    undefined = read_undef | ref_undef
+    return gatekeeper_batch(
+        read_codes,
+        ref_codes,
+        error_threshold,
+        undefined=undefined,
+        edge_policy=edge_policy,
+        count_window=count_window,
+        max_zero_run=max_zero_run,
+    )

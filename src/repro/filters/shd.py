@@ -1,0 +1,25 @@
+"""Shifted Hamming Distance (SHD) pre-alignment filter.
+
+SHD (Xin et al., Bioinformatics 2015) is the bit-parallel, SIMD-friendly CPU
+filter that GateKeeper ports to hardware: it builds the same Hamming and
+shifted masks, amends short zero streaks and ANDs the masks before counting.
+The GateKeeper-GPU paper's accuracy tables report identical false-accept
+counts for SHD and GateKeeper-FPGA, so this implementation shares the mask
+pipeline with :class:`~repro.filters.gatekeeper.GateKeeperFilter` (zero-filled
+vacant edge bits) and differs only in name, serving as the CPU/SIMD baseline
+in the comparison experiments.
+"""
+
+from __future__ import annotations
+
+from .gatekeeper import GateKeeperFilter
+from .masks import EdgePolicy
+
+__all__ = ["SHDFilter"]
+
+
+class SHDFilter(GateKeeperFilter):
+    """Shifted Hamming Distance filter (decision-equivalent to GateKeeper)."""
+
+    name = "SHD"
+    edge_policy = EdgePolicy.ZERO

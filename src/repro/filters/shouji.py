@@ -1,0 +1,77 @@
+"""Shouji pre-alignment filter.
+
+Shouji (Alser et al., Bioinformatics 2019) identifies the common subsequences
+between the read and the candidate reference segment using a *neighborhood
+map*: a ``(2e+1) x n`` binary matrix whose row ``i`` marks the mismatches
+along diagonal ``i - e``.  A sliding window of four columns moves across the
+map; in every window the diagonal sub-segment containing the most zeros is
+accepted into the Shouji bit-vector.  The number of positions never covered
+by an accepted zero approximates the edit distance; if it exceeds the
+threshold the pair is rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..genomics.encoding import encode_to_codes
+from .base import PreAlignmentFilter
+
+__all__ = ["ShoujiFilter", "neighborhood_map"]
+
+
+def neighborhood_map(read_codes: np.ndarray, ref_codes: np.ndarray, error_threshold: int) -> np.ndarray:
+    """Build the ``(2e+1, n)`` neighborhood map of a pair.
+
+    Row ``i`` corresponds to diagonal offset ``d = i - e`` and holds 0 where
+    ``read[j] == ref[j + d]`` (a common character on that diagonal) and 1
+    otherwise.  Comparisons that fall outside the reference segment are 1.
+    """
+    read_codes = np.asarray(read_codes, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    n = len(read_codes)
+    e = int(error_threshold)
+    nmap = np.ones((2 * e + 1, n), dtype=np.uint8)
+    for i in range(2 * e + 1):
+        d = i - e
+        lo = max(0, -d)
+        hi = min(n, n - d)
+        if hi > lo:
+            nmap[i, lo:hi] = (read_codes[lo:hi] != ref_codes[lo + d : hi + d]).astype(np.uint8)
+    return nmap
+
+
+class ShoujiFilter(PreAlignmentFilter):
+    """Shouji: sliding-window common-subsequence filter.
+
+    Parameters
+    ----------
+    error_threshold:
+        Edit threshold.
+    window:
+        Width of the sliding search window in columns (4 in the paper).
+    """
+
+    name = "Shouji"
+
+    def __init__(self, error_threshold: int, window: int = 4):
+        super().__init__(error_threshold)
+        self.window = int(window)
+
+    def estimate_edits(self, read: str, reference_segment: str) -> int:
+        read_codes = encode_to_codes(read)
+        ref_codes = encode_to_codes(reference_segment)
+        n = len(read_codes)
+        nmap = neighborhood_map(read_codes, ref_codes, self.error_threshold)
+        shouji_vector = np.ones(n, dtype=np.uint8)
+        w = self.window
+        for start in range(0, n, w):
+            end = min(start + w, n)
+            block = nmap[:, start:end]
+            zeros_per_diag = (block == 0).sum(axis=1)
+            best_diag = int(np.argmax(zeros_per_diag))
+            # Accept the zeros of the best diagonal sub-segment into the
+            # Shouji bit-vector (leftmost diagonal wins ties via argmax).
+            accepted = block[best_diag] == 0
+            shouji_vector[start:end] &= np.where(accepted, 0, 1).astype(np.uint8)
+        return int(shouji_vector.sum())

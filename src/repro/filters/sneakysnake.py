@@ -1,0 +1,68 @@
+"""SneakySnake pre-alignment filter.
+
+SneakySnake (Alser et al., Bioinformatics 2020) reformulates approximate
+string matching as a *single net routing* problem: the pair defines a
+``(2e+1) x n`` "chip maze" whose row ``i`` marks obstacles (mismatches) along
+diagonal ``i - e``; the signal must travel from the first to the last column,
+moving freely along obstacle-free cells of any row and paying one unit each
+time it must pass through an obstacle column.  The minimum number of paid
+columns lower-bounds the edit distance, so comparing it with the threshold
+never causes a false reject.
+
+The optimal routing can be computed greedily: from the current column, find
+the diagonal with the longest run of obstacle-free cells, travel along it and
+pay one unit to cross the next column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..genomics.encoding import encode_to_codes
+from .base import PreAlignmentFilter
+from .shouji import neighborhood_map
+
+__all__ = ["SneakySnakeFilter"]
+
+
+class SneakySnakeFilter(PreAlignmentFilter):
+    """SneakySnake: greedy single-net-routing filter."""
+
+    name = "SneakySnake"
+
+    def __init__(self, error_threshold: int):
+        super().__init__(error_threshold)
+
+    @staticmethod
+    def _longest_zero_run_from(nmap: np.ndarray, column: int) -> int:
+        """Longest run of zeros starting exactly at ``column`` over all rows."""
+        n = nmap.shape[1]
+        best = 0
+        for row in nmap:
+            length = 0
+            j = column
+            while j < n and row[j] == 0:
+                length += 1
+                j += 1
+            if length > best:
+                best = length
+        return best
+
+    def estimate_edits(self, read: str, reference_segment: str) -> int:
+        read_codes = encode_to_codes(read)
+        ref_codes = encode_to_codes(reference_segment)
+        n = len(read_codes)
+        nmap = neighborhood_map(read_codes, ref_codes, self.error_threshold)
+        edits = 0
+        column = 0
+        while column < n:
+            run = self._longest_zero_run_from(nmap, column)
+            column += run
+            if column < n:
+                # Must cross an obstacle column: one edit.
+                edits += 1
+                column += 1
+                # Early exit: the estimate already exceeds the threshold.
+                if edits > self.error_threshold:
+                    break
+        return edits

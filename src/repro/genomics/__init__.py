@@ -1,0 +1,67 @@
+"""DNA sequence substrate: alphabet, 2-bit encoding, sequence objects and IO."""
+
+from .alphabet import (
+    BASES,
+    BASE_TO_CODE,
+    BITS_PER_BASE,
+    CODE_TO_BASE,
+    COMPLEMENT,
+    UNKNOWN_BASE,
+    base_to_code,
+    code_to_base,
+    complement,
+    contains_unknown,
+    is_valid_sequence,
+    reverse_complement,
+)
+from .encoding import (
+    EncodedBatch,
+    encode_batch,
+    encode_batch_codes,
+    encode_to_codes,
+    encode_to_int,
+    decode_from_codes,
+    decode_from_int,
+    pack_codes_to_words,
+    unpack_words_to_codes,
+    words_per_read,
+)
+from .fasta import iter_fasta, read_fasta, write_fasta
+from .fastq import iter_fastq, read_fastq, write_fastq
+from .reference import ReferenceGenome
+from .sequence import Read, Sequence, SequencePair
+
+__all__ = [
+    "BASES",
+    "BASE_TO_CODE",
+    "BITS_PER_BASE",
+    "CODE_TO_BASE",
+    "COMPLEMENT",
+    "UNKNOWN_BASE",
+    "base_to_code",
+    "code_to_base",
+    "complement",
+    "contains_unknown",
+    "is_valid_sequence",
+    "reverse_complement",
+    "EncodedBatch",
+    "encode_batch",
+    "encode_batch_codes",
+    "encode_to_codes",
+    "encode_to_int",
+    "decode_from_codes",
+    "decode_from_int",
+    "pack_codes_to_words",
+    "unpack_words_to_codes",
+    "words_per_read",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "iter_fastq",
+    "read_fastq",
+    "write_fastq",
+    "ReferenceGenome",
+    "Read",
+    "Sequence",
+    "SequencePair",
+]

@@ -1,0 +1,101 @@
+"""DNA alphabet and 2-bit base codes used throughout the GateKeeper family.
+
+GateKeeper encodes the four canonical nucleotides in two bits each
+(``A=00, C=01, G=10, T=11``).  The unknown base call ``N`` is *not*
+representable in two bits; pairs containing an ``N`` are passed through the
+filter untouched (the "undefined pairs" of the paper) and left for the
+verification stage to decide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "BASES",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "COMPLEMENT",
+    "UNKNOWN_BASE",
+    "BITS_PER_BASE",
+    "base_to_code",
+    "code_to_base",
+    "complement",
+    "reverse_complement",
+    "is_valid_sequence",
+    "contains_unknown",
+    "encode_lookup_table",
+]
+
+#: Canonical DNA bases in code order.
+BASES: str = "ACGT"
+
+#: The unknown base call character emitted by sequencers.
+UNKNOWN_BASE: str = "N"
+
+#: Number of bits used per encoded base.
+BITS_PER_BASE: int = 2
+
+#: Mapping from base character (upper case) to its 2-bit code.
+BASE_TO_CODE: dict[str, int] = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+#: Mapping from 2-bit code back to the base character.
+CODE_TO_BASE: dict[int, str] = {v: k for k, v in BASE_TO_CODE.items()}
+
+#: Watson-Crick complement map (``N`` maps to itself).
+COMPLEMENT: dict[str, str] = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+
+# ASCII lookup table: byte value -> 2-bit code, 255 marks an invalid byte.
+_ASCII_CODE = np.full(256, 255, dtype=np.uint8)
+for _b, _c in BASE_TO_CODE.items():
+    _ASCII_CODE[ord(_b)] = _c
+    _ASCII_CODE[ord(_b.lower())] = _c
+
+
+def encode_lookup_table() -> np.ndarray:
+    """Return a copy of the 256-entry ASCII -> 2-bit code lookup table.
+
+    Invalid characters (including ``N``) map to 255.  The table is the
+    Python-side analogue of the constant-memory LUT the CUDA kernel uses for
+    device-side encoding.
+    """
+    return _ASCII_CODE.copy()
+
+
+def base_to_code(base: str) -> int:
+    """Return the 2-bit code of ``base`` (case insensitive).
+
+    Raises
+    ------
+    KeyError
+        If the base is not one of ``A``, ``C``, ``G``, ``T``.
+    """
+    return BASE_TO_CODE[base.upper()]
+
+
+def code_to_base(code: int) -> str:
+    """Return the base character for a 2-bit ``code`` (0-3)."""
+    return CODE_TO_BASE[code]
+
+
+def complement(base: str) -> str:
+    """Return the Watson-Crick complement of a single base."""
+    return COMPLEMENT[base.upper()]
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of ``sequence`` (``N`` preserved)."""
+    return "".join(COMPLEMENT[b] for b in reversed(sequence.upper()))
+
+
+def is_valid_sequence(sequence: str, allow_n: bool = True) -> bool:
+    """Return True if ``sequence`` contains only recognised characters."""
+    allowed = set(BASES)
+    if allow_n:
+        allowed.add(UNKNOWN_BASE)
+    return all(ch in allowed for ch in sequence.upper())
+
+
+def contains_unknown(sequence: str) -> bool:
+    """Return True if ``sequence`` contains at least one ``N`` base."""
+    return UNKNOWN_BASE in sequence.upper()

@@ -1,0 +1,224 @@
+"""2-bit sequence encoding and fixed-width word packing.
+
+GateKeeper-GPU represents an encoded read as an array of machine words: a
+16-character window is packed into one 32-bit word, so a 100 bp read occupies
+seven words (Section 3.3 of the paper).  This module provides
+
+* scalar helpers that encode a sequence into a Python integer bit-vector, and
+* vectorised helpers that encode *batches* of equal-length sequences into
+  NumPy word arrays (``uint32`` or ``uint64``), mirroring the data layout of
+  the CUDA kernel.
+
+The word layout places the first base of the sequence in the most significant
+bits of word 0, exactly as the FPGA/CUDA implementations do, so that a logical
+left shift of the whole bit-vector corresponds to shifting the read towards
+lower indices (insertions) and a right shift to deletions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import BASE_TO_CODE, BITS_PER_BASE, CODE_TO_BASE, encode_lookup_table
+
+__all__ = [
+    "WORD_BITS_32",
+    "WORD_BITS_64",
+    "BASES_PER_WORD_32",
+    "BASES_PER_WORD_64",
+    "words_per_read",
+    "encode_to_int",
+    "decode_from_int",
+    "encode_to_codes",
+    "decode_from_codes",
+    "pack_codes_to_words",
+    "unpack_words_to_codes",
+    "encode_batch",
+    "encode_batch_codes",
+    "EncodedBatch",
+]
+
+WORD_BITS_32 = 32
+WORD_BITS_64 = 64
+BASES_PER_WORD_32 = WORD_BITS_32 // BITS_PER_BASE
+BASES_PER_WORD_64 = WORD_BITS_64 // BITS_PER_BASE
+
+_ASCII_CODE = encode_lookup_table()
+
+
+def words_per_read(read_length: int, word_bits: int = WORD_BITS_32) -> int:
+    """Number of machine words needed to store ``read_length`` encoded bases.
+
+    A 100 bp read needs ``ceil(200 / 32) = 7`` 32-bit words, matching the
+    paper's "seven words" figure.
+    """
+    if read_length < 0:
+        raise ValueError("read_length must be non-negative")
+    bases_per_word = word_bits // BITS_PER_BASE
+    return -(-read_length // bases_per_word)
+
+
+def encode_to_int(sequence: str) -> int:
+    """Encode ``sequence`` into a single arbitrary-precision bit-vector.
+
+    The first base occupies the most significant 2 bits.  ``N`` bases are not
+    representable; callers must check :func:`~repro.genomics.alphabet.contains_unknown`
+    first (the filter passes such pairs through undefined).
+    """
+    value = 0
+    for base in sequence.upper():
+        value = (value << BITS_PER_BASE) | BASE_TO_CODE[base]
+    return value
+
+
+def decode_from_int(value: int, length: int) -> str:
+    """Decode ``length`` bases from a bit-vector produced by :func:`encode_to_int`."""
+    bases = []
+    for i in range(length):
+        shift = BITS_PER_BASE * (length - 1 - i)
+        bases.append(CODE_TO_BASE[(value >> shift) & 0b11])
+    return "".join(bases)
+
+
+def encode_to_codes(sequence: str) -> np.ndarray:
+    """Encode ``sequence`` into an array of per-base 2-bit codes (uint8).
+
+    Raises
+    ------
+    ValueError
+        If the sequence contains characters outside ``ACGTacgt``.
+    """
+    raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    codes = _ASCII_CODE[raw]
+    if np.any(codes == 255):
+        bad = chr(int(raw[np.argmax(codes == 255)]))
+        raise ValueError(f"cannot 2-bit encode character {bad!r}")
+    return codes
+
+
+def decode_from_codes(codes: np.ndarray) -> str:
+    """Decode an array of per-base codes back into a string."""
+    return "".join(CODE_TO_BASE[int(c)] for c in codes)
+
+
+def pack_codes_to_words(codes: np.ndarray, word_bits: int = WORD_BITS_64) -> np.ndarray:
+    """Pack per-base codes into big-endian machine words.
+
+    Parameters
+    ----------
+    codes:
+        1-D (single sequence) or 2-D (batch, rows are sequences) array of
+        2-bit codes.
+    word_bits:
+        32 or 64.  The last word is padded with zero bits on the right
+        (towards the least significant end), i.e. the padding behaves like
+        trailing ``A`` bases; the filters mask those positions out.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(..., n_words)`` with dtype ``uint32``/``uint64``.
+    """
+    if word_bits not in (WORD_BITS_32, WORD_BITS_64):
+        raise ValueError("word_bits must be 32 or 64")
+    codes = np.asarray(codes, dtype=np.uint8)
+    single = codes.ndim == 1
+    if single:
+        codes = codes[np.newaxis, :]
+    n, length = codes.shape
+    bases_per_word = word_bits // BITS_PER_BASE
+    n_words = words_per_read(length, word_bits)
+    padded_len = n_words * bases_per_word
+    dtype = np.uint32 if word_bits == WORD_BITS_32 else np.uint64
+    padded = np.zeros((n, padded_len), dtype=np.uint64)
+    padded[:, :length] = codes
+    # Shift amounts place base 0 of each word in the most significant bits.
+    shifts = np.arange(bases_per_word - 1, -1, -1, dtype=np.uint64) * BITS_PER_BASE
+    grouped = padded.reshape(n, n_words, bases_per_word)
+    words = (grouped << shifts[np.newaxis, np.newaxis, :]).sum(axis=2, dtype=np.uint64)
+    words = words.astype(dtype)
+    return words[0] if single else words
+
+
+def unpack_words_to_codes(
+    words: np.ndarray, length: int, word_bits: int = WORD_BITS_64
+) -> np.ndarray:
+    """Inverse of :func:`pack_codes_to_words` for a known sequence ``length``."""
+    words = np.asarray(words)
+    single = words.ndim == 1
+    if single:
+        words = words[np.newaxis, :]
+    bases_per_word = word_bits // BITS_PER_BASE
+    shifts = np.arange(bases_per_word - 1, -1, -1, dtype=np.uint64) * BITS_PER_BASE
+    expanded = (words[:, :, np.newaxis].astype(np.uint64) >> shifts) & np.uint64(0b11)
+    codes = expanded.reshape(words.shape[0], -1)[:, :length].astype(np.uint8)
+    return codes[0] if single else codes
+
+
+@dataclass(frozen=True)
+class EncodedBatch:
+    """A batch of equal-length sequences encoded into word arrays.
+
+    Attributes
+    ----------
+    words:
+        ``(n_sequences, n_words)`` word array.
+    length:
+        Number of bases per sequence.
+    word_bits:
+        Width of each machine word (32 or 64).
+    undefined:
+        Boolean mask marking sequences that contained an ``N`` and therefore
+        could not be encoded (their word rows are zero-filled).
+    """
+
+    words: np.ndarray
+    length: int
+    word_bits: int
+    undefined: np.ndarray
+
+    @property
+    def n_sequences(self) -> int:
+        return int(self.words.shape[0])
+
+    @property
+    def n_words(self) -> int:
+        return int(self.words.shape[1])
+
+
+def encode_batch_codes(sequences: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode equal-length sequences into per-base codes plus an undefined mask.
+
+    Returns ``(codes, undefined)`` where ``codes`` is ``(n, length)`` uint8
+    (rows of undefined sequences are zero-filled) and ``undefined`` marks the
+    sequences containing non-ACGT characters.
+    """
+    if not sequences:
+        raise ValueError("encode_batch_codes requires at least one sequence")
+    length = len(sequences[0])
+    for s in sequences:
+        if len(s) != length:
+            raise ValueError("all sequences in a batch must have equal length")
+    n = len(sequences)
+    joined = "".join(s.upper() for s in sequences)
+    raw = np.frombuffer(joined.encode("ascii"), dtype=np.uint8).reshape(n, length)
+    codes = _ASCII_CODE[raw]
+    undefined = np.any(codes == 255, axis=1)
+    codes = np.where(codes == 255, 0, codes).astype(np.uint8)
+    return codes, undefined
+
+
+def encode_batch(sequences: list[str], word_bits: int = WORD_BITS_64) -> EncodedBatch:
+    """Encode a list of equal-length sequences into an :class:`EncodedBatch`.
+
+    Sequences containing ``N`` (or any non-ACGT character) are flagged in the
+    ``undefined`` mask and stored as all-zero words; the GateKeeper-GPU kernel
+    gives such pairs a direct pass, mirroring the paper's design choice.
+    """
+    codes, undefined = encode_batch_codes(sequences)
+    words = pack_codes_to_words(codes, word_bits=word_bits)
+    return EncodedBatch(
+        words=words, length=len(sequences[0]), word_bits=word_bits, undefined=undefined
+    )

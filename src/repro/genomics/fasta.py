@@ -1,0 +1,55 @@
+"""Minimal FASTA reader/writer used for reference genomes and read sets."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .sequence import Sequence
+
+__all__ = ["read_fasta", "write_fasta", "iter_fasta"]
+
+
+def _open(path: str | Path, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def iter_fasta(path: str | Path) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from a FASTA file (optionally gzipped)."""
+    name: str | None = None
+    chunks: list[str] = []
+    with _open(path, "r") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield Sequence(name=name, bases="".join(chunks))
+                name = line[1:].split()[0]
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA file does not start with a header line")
+                chunks.append(line.strip())
+        if name is not None:
+            yield Sequence(name=name, bases="".join(chunks))
+
+
+def read_fasta(path: str | Path) -> list[Sequence]:
+    """Read all records of a FASTA file into memory."""
+    return list(iter_fasta(path))
+
+
+def write_fasta(path: str | Path, records: Iterable[Sequence], line_width: int = 70) -> None:
+    """Write sequences to ``path`` in FASTA format with wrapped lines."""
+    with _open(path, "w") as handle:
+        for record in records:
+            handle.write(f">{record.name}\n")
+            bases = record.bases
+            for start in range(0, len(bases), line_width):
+                handle.write(bases[start : start + line_width] + "\n")

@@ -1,0 +1,55 @@
+"""Minimal FASTQ reader/writer for simulated and real-style read sets."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .sequence import Read
+
+__all__ = ["read_fastq", "write_fastq", "iter_fastq"]
+
+
+def _open(path: str | Path, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def iter_fastq(path: str | Path) -> Iterator[Read]:
+    """Yield :class:`Read` records from a FASTQ file (optionally gzipped)."""
+    with _open(path, "r") as handle:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@"):
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            bases = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise ValueError("malformed FASTQ record: missing '+' separator")
+            quality = handle.readline().rstrip("\n")
+            if len(quality) != len(bases):
+                raise ValueError("FASTQ quality length does not match sequence length")
+            yield Read(name=header[1:].split()[0], bases=bases, quality=quality)
+
+
+def read_fastq(path: str | Path) -> list[Read]:
+    """Read all records of a FASTQ file into memory."""
+    return list(iter_fastq(path))
+
+
+def write_fastq(path: str | Path, reads: Iterable[Read]) -> None:
+    """Write reads to ``path`` in FASTQ format.
+
+    Reads without a quality string are written with a constant high quality
+    (``I`` == Q40), which is what Mason-style simulators emit by default.
+    """
+    with _open(path, "w") as handle:
+        for read in reads:
+            quality = read.quality or "I" * len(read)
+            handle.write(f"@{read.name}\n{read.bases}\n+\n{quality}\n")

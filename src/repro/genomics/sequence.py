@@ -1,0 +1,86 @@
+"""Sequence value objects shared by the simulator, mapper and filters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .alphabet import contains_unknown, reverse_complement
+
+__all__ = ["Sequence", "Read", "SequencePair"]
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An immutable named DNA sequence."""
+
+    name: str
+    bases: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bases", self.bases.upper())
+
+    def __len__(self) -> int:
+        return len(self.bases)
+
+    def __getitem__(self, item) -> str:
+        return self.bases[item]
+
+    @property
+    def has_unknown(self) -> bool:
+        """True if the sequence contains at least one ``N``."""
+        return contains_unknown(self.bases)
+
+    def reverse_complement(self) -> "Sequence":
+        """Return the reverse complement as a new :class:`Sequence`."""
+        return Sequence(name=f"{self.name}/rc", bases=reverse_complement(self.bases))
+
+    def subsequence(self, start: int, end: int) -> "Sequence":
+        """Return the half-open slice ``[start, end)`` as a new sequence."""
+        return Sequence(name=f"{self.name}:{start}-{end}", bases=self.bases[start:end])
+
+
+@dataclass(frozen=True)
+class Read(Sequence):
+    """A sequencing read: a sequence plus optional quality string and origin.
+
+    ``true_position`` records the simulated origin on the reference (or -1
+    for real/unknown reads) so that simulated data sets can be validated.
+    """
+
+    quality: str = ""
+    true_position: int = -1
+    true_edits: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.quality and len(self.quality) != len(self.bases):
+            raise ValueError("quality string length must match read length")
+
+
+@dataclass(frozen=True)
+class SequencePair:
+    """A read / candidate reference segment pair submitted to a filter.
+
+    This is the unit of *filtration* in the paper: the mapper's seeding stage
+    proposes that ``read`` may map where ``reference_segment`` was extracted,
+    and the pre-alignment filter decides whether the pair deserves full
+    verification.
+    """
+
+    read: str
+    reference_segment: str
+    read_id: int = 0
+    location: int = -1
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "read", self.read.upper())
+        object.__setattr__(self, "reference_segment", self.reference_segment.upper())
+
+    def __len__(self) -> int:
+        return len(self.read)
+
+    @property
+    def is_undefined(self) -> bool:
+        """True if either side contains an ``N`` (an *undefined* pair)."""
+        return contains_unknown(self.read) or contains_unknown(self.reference_segment)

@@ -1,0 +1,208 @@
+"""Device models for the simulated GPU substrate.
+
+The paper evaluates two machines:
+
+* **Setup 1** — Intel Xeon Gold 6140 host with eight NVIDIA GeForce GTX
+  1080 Ti GPUs (Pascal, compute capability 6.1, PCIe gen 3 x16);
+* **Setup 2** — Intel Xeon E5-2643 host with four NVIDIA Tesla K20X GPUs
+  (Kepler, compute capability 3.5, PCIe gen 2 x16, no unified-memory
+  prefetching).
+
+No GPU hardware is available in this environment, so the devices are
+described by :class:`DeviceSpec` records whose published parameters feed the
+analytic timing, power and occupancy models.  The *functional* filtering work
+is executed by the vectorised NumPy kernels regardless of the device model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DeviceSpec",
+    "HostSpec",
+    "SystemSetup",
+    "GTX_1080_TI",
+    "TESLA_K20X",
+    "XEON_GOLD_6140",
+    "XEON_E5_2643",
+    "SETUP_1",
+    "SETUP_2",
+    "WARP_SIZE",
+]
+
+#: Threads per warp on every CUDA architecture the paper uses.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU device.
+
+    The calibration fields (``arch_efficiency``, ``idle_power_mw``,
+    ``power_per_word_mw``) tune the analytic models so that the reproduced
+    tables land on the same scale as the paper's measurements; they do not
+    affect any accuracy result.
+    """
+
+    name: str
+    architecture: str
+    compute_capability: tuple[int, int]
+    sm_count: int
+    cuda_cores: int
+    base_clock_mhz: int
+    boost_clock_mhz: int
+    global_memory_bytes: int
+    memory_bandwidth_gbps: float
+    l2_cache_bytes: int
+    registers_per_sm: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_warps_per_sm: int
+    max_blocks_per_sm: int
+    shared_memory_per_sm: int
+    pcie_generation: int
+    pcie_lanes: int
+    tdp_watts: float
+    arch_efficiency: float = 1.0
+    idle_power_mw: float = 9_000.0
+    power_per_word_mw: float = 13_000.0
+    power_avg_sqrt_word_mw: float = 20_000.0
+
+    # ------------------------------------------------------------------ #
+    # Derived properties
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_prefetch(self) -> bool:
+        """Asynchronous unified-memory prefetching needs compute capability >= 6.0."""
+        return self.compute_capability >= (6, 0)
+
+    @property
+    def supports_memory_advise(self) -> bool:
+        """cudaMemAdvise also requires compute capability >= 6.0."""
+        return self.compute_capability >= (6, 0)
+
+    @property
+    def warp_size(self) -> int:
+        return WARP_SIZE
+
+    @property
+    def pcie_bandwidth_bytes_per_s(self) -> float:
+        """Effective host<->device bandwidth of the PCIe link."""
+        per_lane_gbs = {1: 0.25, 2: 0.5, 3: 0.985, 4: 1.969}[self.pcie_generation]
+        return per_lane_gbs * self.pcie_lanes * 1e9
+
+    @property
+    def compute_throughput(self) -> float:
+        """Relative compute capability used by the analytic kernel-time model."""
+        return self.cuda_cores * self.boost_clock_mhz * 1e6 * self.arch_efficiency
+
+    def with_free_memory_fraction(self, fraction: float) -> "DeviceSpec":
+        """A copy whose global memory is scaled (models memory already in use)."""
+        return replace(self, global_memory_bytes=int(self.global_memory_bytes * fraction))
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of the host CPU used for encoding and buffer preparation."""
+
+    name: str
+    cores: int
+    threads: int
+    base_clock_ghz: float
+    ram_bytes: int
+    #: Relative single-core speed (Xeon Gold 6140 at 2.3 GHz = 1.0).
+    single_core_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class SystemSetup:
+    """One of the paper's two experimental machines."""
+
+    name: str
+    host: HostSpec
+    device: DeviceSpec
+    n_devices: int
+
+    def devices(self, count: int | None = None) -> list[DeviceSpec]:
+        """The (identical) device list, truncated to ``count`` if given."""
+        count = self.n_devices if count is None else count
+        if count > self.n_devices:
+            raise ValueError(
+                f"{self.name} only has {self.n_devices} devices (requested {count})"
+            )
+        return [self.device] * count
+
+
+GTX_1080_TI = DeviceSpec(
+    name="NVIDIA GeForce GTX 1080 Ti",
+    architecture="Pascal",
+    compute_capability=(6, 1),
+    sm_count=28,
+    cuda_cores=3584,
+    base_clock_mhz=1480,
+    boost_clock_mhz=1582,
+    global_memory_bytes=10 * 1024**3,  # usable memory reported by the paper
+    memory_bandwidth_gbps=484.0,
+    l2_cache_bytes=2816 * 1024,
+    registers_per_sm=65536,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    shared_memory_per_sm=96 * 1024,
+    pcie_generation=3,
+    pcie_lanes=16,
+    tdp_watts=250.0,
+    arch_efficiency=1.0,
+    idle_power_mw=8_800.0,
+    power_per_word_mw=13_500.0,
+    power_avg_sqrt_word_mw=20_000.0,
+)
+
+TESLA_K20X = DeviceSpec(
+    name="NVIDIA Tesla K20X",
+    architecture="Kepler",
+    compute_capability=(3, 5),
+    sm_count=14,
+    cuda_cores=2688,
+    base_clock_mhz=732,
+    boost_clock_mhz=784,
+    global_memory_bytes=5 * 1024**3,
+    memory_bandwidth_gbps=250.0,
+    l2_cache_bytes=1536 * 1024,
+    registers_per_sm=65536,
+    max_threads_per_block=1024,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    shared_memory_per_sm=48 * 1024,
+    pcie_generation=2,
+    pcie_lanes=16,
+    tdp_watts=235.0,
+    arch_efficiency=0.55,
+    idle_power_mw=30_100.0,
+    power_per_word_mw=6_200.0,
+    power_avg_sqrt_word_mw=17_500.0,
+)
+
+XEON_GOLD_6140 = HostSpec(
+    name="Intel Xeon Gold 6140",
+    cores=18,
+    threads=36,
+    base_clock_ghz=2.3,
+    ram_bytes=754 * 1024**3,
+    single_core_factor=1.0,
+)
+
+XEON_E5_2643 = HostSpec(
+    name="Intel Xeon E5-2643",
+    cores=4,
+    threads=8,
+    base_clock_ghz=3.3,
+    ram_bytes=256 * 1024**3,
+    single_core_factor=0.92,
+)
+
+SETUP_1 = SystemSetup(name="Setup 1", host=XEON_GOLD_6140, device=GTX_1080_TI, n_devices=8)
+SETUP_2 = SystemSetup(name="Setup 2", host=XEON_E5_2643, device=TESLA_K20X, n_devices=4)

@@ -1,0 +1,168 @@
+"""Unified-memory model: allocations, memory advice and asynchronous prefetching.
+
+CUDA unified memory gives host and device a single pointer to each buffer and
+migrates pages on demand; GateKeeper-GPU additionally sets memory advice
+(preferred location = device for kernel inputs) and prefetches buffers
+asynchronously on separate streams ahead of the kernel (paper Sections 2.2 and
+3.4).  Devices older than compute capability 6.0 (Setup 2's Tesla K20X) do not
+support advice or prefetching, and the paper attributes part of Setup 2's
+lower throughput to that.
+
+This module tracks allocations and migration traffic so that the timing model
+can charge page-fault overhead when prefetching is unavailable, and so the
+tests can assert the bookkeeping (allocation limits, advice being skipped on
+old devices, prefetch marking pages resident).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .device import DeviceSpec
+
+__all__ = [
+    "MemoryAdvice",
+    "MemoryLocation",
+    "UnifiedBuffer",
+    "UnifiedMemoryManager",
+    "OutOfMemoryError",
+]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds the device's free global memory."""
+
+
+class MemoryAdvice(enum.Enum):
+    """Subset of cudaMemAdvise hints used by GateKeeper-GPU."""
+
+    PREFERRED_LOCATION_DEVICE = "preferred_location_device"
+    PREFERRED_LOCATION_HOST = "preferred_location_host"
+    READ_MOSTLY = "read_mostly"
+
+
+class MemoryLocation(enum.Enum):
+    """Where the pages of a unified buffer currently reside."""
+
+    HOST = "host"
+    DEVICE = "device"
+
+
+@dataclass
+class UnifiedBuffer:
+    """One unified-memory allocation."""
+
+    name: str
+    nbytes: int
+    location: MemoryLocation = MemoryLocation.HOST
+    advice: MemoryAdvice | None = None
+    prefetched: bool = False
+
+    @property
+    def resident_on_device(self) -> bool:
+        return self.location is MemoryLocation.DEVICE
+
+
+@dataclass
+class MigrationStats:
+    """Accumulated host<->device migration traffic."""
+
+    bytes_prefetched: int = 0
+    bytes_faulted: int = 0
+    prefetch_calls: int = 0
+    fault_migrations: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_prefetched + self.bytes_faulted
+
+
+class UnifiedMemoryManager:
+    """Tracks unified-memory allocations and migrations for one device."""
+
+    def __init__(self, device: DeviceSpec, reserved_fraction: float = 0.1):
+        """``reserved_fraction`` models memory held by the driver/context."""
+        self.device = device
+        self.capacity = int(device.global_memory_bytes * (1.0 - reserved_fraction))
+        self.buffers: dict[str, UnifiedBuffer] = {}
+        self.stats = MigrationStats()
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(b.nbytes for b in self.buffers.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.allocated_bytes
+
+    def allocate(self, name: str, nbytes: int) -> UnifiedBuffer:
+        """Allocate a unified buffer visible to both host and device."""
+        if name in self.buffers:
+            raise ValueError(f"buffer {name!r} already allocated")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > self.free_bytes:
+            raise OutOfMemoryError(
+                f"cannot allocate {nbytes} bytes for {name!r}: only {self.free_bytes} free"
+            )
+        buffer = UnifiedBuffer(name=name, nbytes=nbytes)
+        self.buffers[name] = buffer
+        return buffer
+
+    def free(self, name: str) -> None:
+        """Free a buffer."""
+        self.buffers.pop(name)
+
+    def reset(self) -> None:
+        """Free every buffer and clear the migration statistics."""
+        self.buffers.clear()
+        self.stats = MigrationStats()
+
+    # ------------------------------------------------------------------ #
+    # Advice and prefetching
+    # ------------------------------------------------------------------ #
+    def advise(self, name: str, advice: MemoryAdvice) -> bool:
+        """Apply memory advice; returns False (no-op) on devices without support."""
+        buffer = self.buffers[name]
+        if not self.device.supports_memory_advise:
+            return False
+        buffer.advice = advice
+        return True
+
+    def prefetch_async(self, name: str) -> bool:
+        """Prefetch a buffer to the device ahead of the kernel.
+
+        Returns False on devices without prefetch support (the pages will
+        instead fault-migrate during kernel execution, which the timing model
+        charges as overhead).
+        """
+        buffer = self.buffers[name]
+        if not self.device.supports_prefetch:
+            return False
+        if not buffer.resident_on_device:
+            self.stats.bytes_prefetched += buffer.nbytes
+            self.stats.prefetch_calls += 1
+            buffer.location = MemoryLocation.DEVICE
+            buffer.prefetched = True
+        return True
+
+    def touch_on_device(self, name: str) -> None:
+        """Simulate the kernel touching a buffer (fault-migrates if needed)."""
+        buffer = self.buffers[name]
+        if not buffer.resident_on_device:
+            self.stats.bytes_faulted += buffer.nbytes
+            self.stats.fault_migrations += 1
+            buffer.location = MemoryLocation.DEVICE
+
+    def touch_on_host(self, name: str) -> None:
+        """Simulate the host touching a buffer after the kernel (migrates back)."""
+        buffer = self.buffers[name]
+        if buffer.resident_on_device:
+            self.stats.bytes_faulted += buffer.nbytes
+            self.stats.fault_migrations += 1
+            buffer.location = MemoryLocation.HOST
+            buffer.prefetched = False

@@ -1,0 +1,103 @@
+"""Multi-GPU dispatch of filtering batches (paper Sections 3.1 and 5.2).
+
+In the multi-GPU model every device receives an equal share of the batch so
+the workload is fair; the reported kernel time is the time of the slowest
+device.  The dispatcher splits a work list into per-device chunks, runs a
+caller-supplied kernel callable on each chunk (functionally, on the CPU) and
+combines the analytic per-device timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from .device import DeviceSpec
+from .timing import FilterTiming, TimingModel
+
+__all__ = ["DeviceShare", "MultiGpuDispatcher", "split_evenly"]
+
+T = TypeVar("T")
+
+
+def split_evenly(n_items: int, n_devices: int) -> list[slice]:
+    """Split ``n_items`` into ``n_devices`` contiguous, nearly equal slices."""
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    bounds = np.linspace(0, n_items, n_devices + 1, dtype=int)
+    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(n_devices)]
+
+
+@dataclass(frozen=True)
+class DeviceShare:
+    """Work assigned to (and results produced by) one device."""
+
+    device_index: int
+    item_slice: slice
+    n_items: int
+    result: object
+    timing: FilterTiming
+
+
+class MultiGpuDispatcher:
+    """Fans a batch of filtrations out over several identical devices."""
+
+    def __init__(self, devices: Sequence[DeviceSpec], timing_model: TimingModel | None = None):
+        if not devices:
+            raise ValueError("at least one device is required")
+        self.devices = list(devices)
+        self.timing_model = timing_model or TimingModel(self.devices[0])
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    def dispatch(
+        self,
+        n_items: int,
+        run_chunk: Callable[[slice, int], T],
+        read_length: int,
+        error_threshold: int,
+        encode_on_device: bool = True,
+    ) -> list[DeviceShare]:
+        """Split ``n_items`` across the devices and run ``run_chunk`` per device.
+
+        ``run_chunk(item_slice, device_index)`` performs the functional work
+        for that share and returns its result object.  The per-device analytic
+        timing assumes the equal split the paper uses.
+        """
+        shares: list[DeviceShare] = []
+        for index, item_slice in enumerate(split_evenly(n_items, self.n_devices)):
+            chunk_items = item_slice.stop - item_slice.start
+            result = run_chunk(item_slice, index)
+            timing = self.timing_model.filter_timing(
+                chunk_items,
+                read_length,
+                error_threshold,
+                encode_on_device=encode_on_device,
+                n_devices=1,
+            )
+            shares.append(
+                DeviceShare(
+                    device_index=index,
+                    item_slice=item_slice,
+                    n_items=chunk_items,
+                    result=result,
+                    timing=timing,
+                )
+            )
+        return shares
+
+    @staticmethod
+    def combined_kernel_time(shares: Sequence[DeviceShare]) -> float:
+        """Multi-GPU kernel time = the slowest device's kernel time."""
+        return max((s.timing.kernel_s for s in shares), default=0.0)
+
+    @staticmethod
+    def combined_filter_time(shares: Sequence[DeviceShare]) -> float:
+        """Host-perspective filter time: host phases serialise, kernels overlap."""
+        host_side = sum(s.timing.encode_s + s.timing.host_prep_s + s.timing.transfer_s for s in shares)
+        kernel = max((s.timing.kernel_s for s in shares), default=0.0)
+        return host_side / max(1, len(shares)) * 1.0 + kernel

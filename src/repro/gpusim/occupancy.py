@@ -1,0 +1,114 @@
+"""CUDA occupancy calculator (Section 5.4.1 of the paper).
+
+Theoretical warp occupancy is the ratio of active warps per streaming
+multiprocessor (SM) to the maximum number of warps the SM supports.  It is
+limited by whichever resource runs out first when residing blocks on an SM:
+warp slots, registers, shared memory, or the per-SM block limit.  The paper
+reports that GateKeeper-GPU needs 40-48 registers per thread, which caps the
+theoretical occupancy at 50% with 1024-thread blocks (and 63% would require
+dropping to 256-thread blocks, which GateKeeper-GPU avoids to keep batches
+large).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import WARP_SIZE, DeviceSpec
+
+__all__ = ["OccupancyResult", "theoretical_occupancy", "occupancy_table"]
+
+#: Register allocation granularity (registers are allocated per warp in chunks).
+_REGISTER_ALLOCATION_UNIT = 256
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch configuration."""
+
+    active_blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiting_factor: str
+
+    @property
+    def occupancy_percent(self) -> float:
+        return 100.0 * self.occupancy
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def theoretical_occupancy(
+    device: DeviceSpec,
+    registers_per_thread: int,
+    threads_per_block: int,
+    shared_memory_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute the theoretical warp occupancy of a kernel launch.
+
+    Parameters mirror the CUDA occupancy calculator: the limiting resource is
+    reported so kernels can be tuned (GateKeeper-GPU is register limited).
+    """
+    if threads_per_block <= 0 or threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block must be in 1..{device.max_threads_per_block}"
+        )
+    if registers_per_thread <= 0:
+        raise ValueError("registers_per_thread must be positive")
+
+    warps_per_block = _ceil_div(threads_per_block, WARP_SIZE)
+
+    # Limit from warp slots / thread slots.
+    blocks_by_warps = min(
+        device.max_warps_per_sm // warps_per_block,
+        device.max_threads_per_sm // threads_per_block,
+    )
+
+    # Limit from registers (allocated per warp with a granularity unit).
+    regs_per_warp = _ceil_div(registers_per_thread * WARP_SIZE, _REGISTER_ALLOCATION_UNIT)
+    regs_per_warp *= _REGISTER_ALLOCATION_UNIT
+    regs_per_block = regs_per_warp * warps_per_block
+    blocks_by_registers = (
+        device.registers_per_sm // regs_per_block if regs_per_block > 0 else device.max_blocks_per_sm
+    )
+
+    # Limit from shared memory.
+    if shared_memory_per_block > 0:
+        blocks_by_shared = device.shared_memory_per_sm // shared_memory_per_block
+    else:
+        blocks_by_shared = device.max_blocks_per_sm
+
+    # Hardware block residency limit.
+    blocks_by_hardware = device.max_blocks_per_sm
+
+    limits = {
+        "warps": blocks_by_warps,
+        "registers": blocks_by_registers,
+        "shared_memory": blocks_by_shared,
+        "blocks": blocks_by_hardware,
+    }
+    limiting_factor = min(limits, key=limits.get)
+    active_blocks = max(0, limits[limiting_factor])
+    active_warps = active_blocks * warps_per_block
+    occupancy = active_warps / device.max_warps_per_sm if device.max_warps_per_sm else 0.0
+    return OccupancyResult(
+        active_blocks_per_sm=active_blocks,
+        active_warps_per_sm=active_warps,
+        occupancy=min(1.0, occupancy),
+        limiting_factor=limiting_factor,
+    )
+
+
+def occupancy_table(
+    device: DeviceSpec,
+    registers_per_thread: int,
+    block_sizes: tuple[int, ...] = (128, 256, 512, 1024),
+) -> dict[int, OccupancyResult]:
+    """Occupancy for several block sizes (used to justify the 1024-thread choice)."""
+    return {
+        size: theoretical_occupancy(device, registers_per_thread, size)
+        for size in block_sizes
+        if size <= device.max_threads_per_block
+    }

@@ -1,0 +1,84 @@
+"""CUDA stream and event bookkeeping for the simulated device.
+
+GateKeeper-GPU prefetches each input buffer on its own stream so the
+migrations overlap, and measures kernel time with CUDA events.  The simulated
+streams keep an ordered log of operations and the events record simulated
+timestamps supplied by the timing model, which is enough to reproduce the
+paper's kernel-time vs filter-time accounting and to test the overlap logic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["StreamOperation", "CudaStream", "CudaEvent", "StreamPool"]
+
+
+@dataclass(frozen=True)
+class StreamOperation:
+    """One operation enqueued on a stream."""
+
+    kind: str  # "prefetch" | "kernel" | "copy"
+    name: str
+    duration_s: float
+
+
+@dataclass
+class CudaEvent:
+    """A recorded event with a simulated timestamp (seconds)."""
+
+    name: str
+    timestamp_s: float | None = None
+
+    def record(self, timestamp_s: float) -> None:
+        self.timestamp_s = timestamp_s
+
+    def elapsed_since(self, other: "CudaEvent") -> float:
+        """Elapsed simulated seconds between two recorded events."""
+        if self.timestamp_s is None or other.timestamp_s is None:
+            raise ValueError("both events must be recorded before measuring")
+        return self.timestamp_s - other.timestamp_s
+
+
+@dataclass
+class CudaStream:
+    """An in-order queue of simulated operations."""
+
+    stream_id: int
+    operations: list[StreamOperation] = field(default_factory=list)
+
+    def enqueue(self, kind: str, name: str, duration_s: float) -> None:
+        self.operations.append(StreamOperation(kind=kind, name=name, duration_s=duration_s))
+
+    @property
+    def busy_time_s(self) -> float:
+        """Total simulated time this stream spends executing its queue."""
+        return sum(op.duration_s for op in self.operations)
+
+    def synchronize(self) -> float:
+        """Return the stream's completion time (its total busy time)."""
+        return self.busy_time_s
+
+
+class StreamPool:
+    """A set of streams; concurrent streams overlap, so the pool completes at the max."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self.streams: list[CudaStream] = []
+
+    def create(self) -> CudaStream:
+        stream = CudaStream(stream_id=next(self._counter))
+        self.streams.append(stream)
+        return stream
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the whole pool (streams execute concurrently)."""
+        return max((s.busy_time_s for s in self.streams), default=0.0)
+
+    @property
+    def serialized_time_s(self) -> float:
+        """Completion time if the same work ran on a single stream."""
+        return sum(s.busy_time_s for s in self.streams)

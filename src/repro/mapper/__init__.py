@@ -1,0 +1,19 @@
+"""mrFAST-like short read mapper substrate."""
+
+from .index import KmerIndex
+from .mrfast import MappingRunResult, MrFastMapper
+from .sam import SamRecord, write_sam
+from .seeding import SeedHit, Seeder
+from .stats import MappingStats, MappingTimes
+
+__all__ = [
+    "KmerIndex",
+    "MappingRunResult",
+    "MrFastMapper",
+    "SamRecord",
+    "write_sam",
+    "SeedHit",
+    "Seeder",
+    "MappingStats",
+    "MappingTimes",
+]

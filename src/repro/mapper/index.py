@@ -1,0 +1,62 @@
+"""k-mer hash index of the reference genome (the mapper's seeding substrate).
+
+mrFAST builds a hash table of fixed-length k-mers of the reference; seeding a
+read means looking up its k-mers and collecting the reference positions where
+they occur.  k-mers containing ``N`` are not indexed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..genomics.alphabet import UNKNOWN_BASE
+from ..genomics.reference import ReferenceGenome
+
+__all__ = ["KmerIndex"]
+
+
+class KmerIndex:
+    """Hash index mapping every k-mer of the reference to its positions."""
+
+    def __init__(self, reference: ReferenceGenome, k: int = 12):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > len(reference):
+            raise ValueError("k cannot exceed the reference length")
+        self.reference = reference
+        self.k = k
+        self._index: dict[str, np.ndarray] = {}
+        self._build()
+
+    def _build(self) -> None:
+        k = self.k
+        bases = self.reference.bases
+        positions: dict[str, list[int]] = defaultdict(list)
+        for pos in range(len(bases) - k + 1):
+            kmer = bases[pos : pos + k]
+            if UNKNOWN_BASE in kmer:
+                continue
+            positions[kmer].append(pos)
+        self._index = {kmer: np.asarray(pos_list, dtype=np.int64) for kmer, pos_list in positions.items()}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of distinct k-mers indexed."""
+        return len(self._index)
+
+    def __contains__(self, kmer: str) -> bool:
+        return kmer.upper() in self._index
+
+    def lookup(self, kmer: str) -> np.ndarray:
+        """Reference positions where ``kmer`` occurs (possibly empty)."""
+        if len(kmer) != self.k:
+            raise ValueError(f"kmer length {len(kmer)} does not match index k={self.k}")
+        return self._index.get(kmer.upper(), np.empty(0, dtype=np.int64))
+
+    def occurrence_counts(self) -> np.ndarray:
+        """Number of occurrences of every indexed k-mer (repeat statistics)."""
+        return np.asarray([len(v) for v in self._index.values()], dtype=np.int64)

@@ -1,0 +1,60 @@
+"""Minimal SAM-style mapping records and writer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["SamRecord", "write_sam"]
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One reported mapping in (simplified) SAM form."""
+
+    query_name: str
+    reference_name: str
+    position: int  # 0-based internally; written 1-based
+    mapping_quality: int
+    cigar: str
+    sequence: str
+    edit_distance: int
+    flag: int = 0
+
+    def to_line(self) -> str:
+        """Serialise as a SAM alignment line (with the NM edit-distance tag)."""
+        return "\t".join(
+            [
+                self.query_name,
+                str(self.flag),
+                self.reference_name,
+                str(self.position + 1),
+                str(self.mapping_quality),
+                self.cigar,
+                "*",
+                "0",
+                "0",
+                self.sequence,
+                "*",
+                f"NM:i:{self.edit_distance}",
+            ]
+        )
+
+
+def write_sam(
+    path: str | Path,
+    records: Iterable[SamRecord],
+    reference_name: str,
+    reference_length: int,
+) -> int:
+    """Write records to ``path`` with a minimal header; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write("@HD\tVN:1.6\tSO:unsorted\n")
+        handle.write(f"@SQ\tSN:{reference_name}\tLN:{reference_length}\n")
+        handle.write("@PG\tID:repro-mrfast\tPN:repro-mrfast\n")
+        for record in records:
+            handle.write(record.to_line() + "\n")
+            count += 1
+    return count

@@ -1,0 +1,78 @@
+"""Full-sensitivity seeding (seed-and-extend candidate generation).
+
+mrFAST guarantees full sensitivity within the error threshold ``e`` by the
+pigeonhole principle: the read is split into ``e + 1`` non-overlapping seeds,
+and any alignment with at most ``e`` edits must contain at least one exactly
+matching seed.  Every position where any seed matches the reference therefore
+yields a candidate mapping location to be verified (after pre-alignment
+filtering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics.alphabet import UNKNOWN_BASE
+from .index import KmerIndex
+
+__all__ = ["Seeder", "SeedHit"]
+
+
+@dataclass(frozen=True)
+class SeedHit:
+    """One candidate mapping location produced by seeding."""
+
+    read_offset: int
+    reference_position: int
+
+    @property
+    def candidate_location(self) -> int:
+        """Reference position where the whole read would start."""
+        return self.reference_position - self.read_offset
+
+
+class Seeder:
+    """Splits reads into seeds and collects candidate mapping locations."""
+
+    def __init__(self, index: KmerIndex, error_threshold: int, max_candidates: int = 2048):
+        if error_threshold < 0:
+            raise ValueError("error_threshold must be non-negative")
+        self.index = index
+        self.error_threshold = error_threshold
+        self.max_candidates = max_candidates
+
+    def seeds_of(self, read: str) -> list[tuple[int, str]]:
+        """Non-overlapping ``(offset, kmer)`` seeds covering the read.
+
+        ``e + 1`` seeds of the index's k-mer length are taken when they fit;
+        shorter reads fall back to as many non-overlapping seeds as fit.
+        """
+        k = self.index.k
+        wanted = self.error_threshold + 1
+        max_fit = max(1, len(read) // k)
+        n_seeds = min(wanted, max_fit)
+        # Spread the seeds across the read so indels anywhere are tolerated.
+        if n_seeds == 1:
+            offsets = [0]
+        else:
+            offsets = np.linspace(0, len(read) - k, n_seeds).astype(int).tolist()
+        return [(int(off), read[int(off) : int(off) + k]) for off in offsets]
+
+    def candidates(self, read: str) -> np.ndarray:
+        """Sorted unique candidate locations of ``read`` on the reference."""
+        hits: list[int] = []
+        for offset, kmer in self.seeds_of(read):
+            if UNKNOWN_BASE in kmer:
+                continue
+            for position in self.index.lookup(kmer):
+                location = int(position) - offset
+                hits.append(location)
+                if len(hits) >= self.max_candidates:
+                    break
+            if len(hits) >= self.max_candidates:
+                break
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.asarray(hits, dtype=np.int64))

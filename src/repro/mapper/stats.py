@@ -1,0 +1,101 @@
+"""Mapping statistics and time accounting for the whole-genome experiments.
+
+The paper's whole-genome tables (Table 3, Sup. Tables S.24-S.26) report, per
+run: the number of mappings, mapped reads, candidate mappings entering
+verification, rejected candidates (and the reduction percentage), and the time
+spent in verification, pre-alignment filtering and preprocessing.  This module
+holds those counters plus the modelled time breakdown used for the speedup
+tables (Tables 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MappingStats", "MappingTimes"]
+
+
+@dataclass
+class MappingStats:
+    """Counters collected while mapping a read set."""
+
+    n_reads: int = 0
+    mappings: int = 0
+    mapped_reads: int = 0
+    candidate_pairs: int = 0
+    verification_pairs: int = 0
+    rejected_pairs: int = 0
+    undefined_pairs: int = 0
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of candidate mappings removed before verification."""
+        if self.candidate_pairs == 0:
+            return 0.0
+        return self.rejected_pairs / self.candidate_pairs
+
+    def merge(self, other: "MappingStats") -> "MappingStats":
+        """Combine the counters of two runs (e.g. per-batch partial stats)."""
+        return MappingStats(
+            n_reads=self.n_reads + other.n_reads,
+            mappings=self.mappings + other.mappings,
+            mapped_reads=self.mapped_reads + other.mapped_reads,
+            candidate_pairs=self.candidate_pairs + other.candidate_pairs,
+            verification_pairs=self.verification_pairs + other.verification_pairs,
+            rejected_pairs=self.rejected_pairs + other.rejected_pairs,
+            undefined_pairs=self.undefined_pairs + other.undefined_pairs,
+        )
+
+    def summary(self) -> dict[str, int | float]:
+        return {
+            "reads": self.n_reads,
+            "mappings": self.mappings,
+            "mapped_reads": self.mapped_reads,
+            "candidate_pairs": self.candidate_pairs,
+            "verification_pairs": self.verification_pairs,
+            "rejected_pairs": self.rejected_pairs,
+            "undefined_pairs": self.undefined_pairs,
+            "reduction_pct": round(100.0 * self.reduction, 2),
+        }
+
+
+@dataclass
+class MappingTimes:
+    """Modelled and measured time breakdown of a mapping run (seconds)."""
+
+    seeding_s: float = 0.0
+    preprocess_s: float = 0.0
+    filter_kernel_s: float = 0.0
+    filter_total_s: float = 0.0
+    verification_s: float = 0.0
+    other_s: float = 0.0
+    wall_clock_s: float = 0.0
+
+    @property
+    def filtering_plus_verification_s(self) -> float:
+        """The paper's combined metric (filter kernel time + verification time)."""
+        return self.filter_kernel_s + self.verification_s
+
+    @property
+    def overall_s(self) -> float:
+        """Modelled end-to-end mapping time."""
+        return (
+            self.seeding_s
+            + self.preprocess_s
+            + self.filter_total_s
+            + self.verification_s
+            + self.other_s
+        )
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "seeding_s": self.seeding_s,
+            "preprocess_s": self.preprocess_s,
+            "filter_kernel_s": self.filter_kernel_s,
+            "filter_total_s": self.filter_total_s,
+            "verification_s": self.verification_s,
+            "other_s": self.other_s,
+            "filtering_plus_verification_s": self.filtering_plus_verification_s,
+            "overall_s": self.overall_s,
+            "wall_clock_s": self.wall_clock_s,
+        }

@@ -1,0 +1,105 @@
+"""Mutation / sequencing-error models used by the read and pair simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics.alphabet import BASES
+
+__all__ = ["MutationProfile", "apply_profile", "apply_exact_edits"]
+
+
+@dataclass(frozen=True)
+class MutationProfile:
+    """Per-base substitution and indel rates (Mason-style error model).
+
+    ``substitution_rate`` covers both sequencing mismatches and SNPs;
+    ``insertion_rate`` / ``deletion_rate`` are per-base probabilities of a
+    single-base indel starting at that position.
+    """
+
+    substitution_rate: float = 0.01
+    insertion_rate: float = 0.001
+    deletion_rate: float = 0.001
+
+    def scaled(self, factor: float) -> "MutationProfile":
+        """Return a copy with all rates multiplied by ``factor``."""
+        return MutationProfile(
+            substitution_rate=min(0.95, self.substitution_rate * factor),
+            insertion_rate=min(0.5, self.insertion_rate * factor),
+            deletion_rate=min(0.5, self.deletion_rate * factor),
+        )
+
+
+def _random_base(rng: np.random.Generator, exclude: str | None = None) -> str:
+    choices = [b for b in BASES if b != exclude] if exclude else list(BASES)
+    return choices[int(rng.integers(0, len(choices)))]
+
+
+def apply_profile(
+    sequence: str, profile: MutationProfile, rng: np.random.Generator
+) -> tuple[str, int]:
+    """Mutate ``sequence`` according to ``profile``.
+
+    Returns the mutated sequence and the number of edit operations applied.
+    The output keeps the input length: deletions consume a base and the
+    shortfall is ignored, insertions push the tail out; this mirrors how a
+    fixed-length read sampled from a mutated template relates to the
+    corresponding same-length reference segment.
+    """
+    out: list[str] = []
+    edits = 0
+    for base in sequence:
+        r = float(rng.random())
+        if r < profile.deletion_rate:
+            edits += 1
+            continue  # base deleted
+        if r < profile.deletion_rate + profile.insertion_rate:
+            out.append(_random_base(rng))
+            edits += 1
+        if float(rng.random()) < profile.substitution_rate:
+            out.append(_random_base(rng, exclude=base))
+            edits += 1
+        else:
+            out.append(base)
+    mutated = "".join(out)
+    if len(mutated) < len(sequence):
+        # Pad with random bases (the read would continue into the template).
+        mutated += "".join(_random_base(rng) for _ in range(len(sequence) - len(mutated)))
+    return mutated[: len(sequence)], edits
+
+
+def apply_exact_edits(
+    sequence: str,
+    n_edits: int,
+    rng: np.random.Generator,
+    indel_fraction: float = 0.2,
+) -> str:
+    """Apply exactly ``n_edits`` edit operations to ``sequence``.
+
+    Substitutions always change the base (so each one is a real edit);
+    insertions and deletions shift the remainder of the sequence and the
+    result is trimmed / padded back to the original length.  The true edit
+    distance of the result from the input is at most ``n_edits`` (edits can
+    cancel or overlap), which is the correct direction for building data sets
+    with a controlled divergence profile.
+    """
+    seq = list(sequence)
+    n = len(seq)
+    for _ in range(n_edits):
+        kind = rng.random()
+        pos = int(rng.integers(0, max(1, len(seq))))
+        if kind < indel_fraction / 2 and len(seq) > 1:
+            del seq[pos]
+        elif kind < indel_fraction:
+            seq.insert(pos, _random_base(rng))
+        else:
+            if pos >= len(seq):
+                pos = len(seq) - 1
+            seq[pos] = _random_base(rng, exclude=seq[pos])
+    mutated = "".join(seq)
+    if len(mutated) < n:
+        mutated += "".join(_random_base(rng) for _ in range(n - len(mutated)))
+    return mutated[:n]

@@ -1,0 +1,242 @@
+"""Candidate read / reference-segment pair generation.
+
+The accuracy and throughput experiments of the paper operate on pools of
+30 million read / candidate-reference-segment pairs produced by a mapper's
+seeding stage (mrFAST, Minimap2 or BWA-MEM).  Offline we synthesise pools with
+the same *structure*: a mixture of
+
+* genuine mappings (small edit distance — sequencing errors and variants),
+* "repeat" candidates (the seed matched a similar but diverged copy, so the
+  pair has a moderate edit distance, typically a small multiple of the
+  seeding threshold), and
+* spurious candidates (essentially unrelated segments),
+
+plus a configurable fraction of *undefined* pairs that contain an ``N`` base.
+The mixture weights differ per mapper profile (mrFAST low-/high-edit sets,
+Minimap2 chain-stage candidates, BWA-MEM pre-global-alignment candidates),
+reproducing the qualitative divergence distributions of the paper's data sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..genomics.alphabet import UNKNOWN_BASE
+from ..genomics.sequence import SequencePair
+from .genome import generate_sequence
+from .mutations import apply_exact_edits
+
+__all__ = [
+    "PairProfile",
+    "PairDataset",
+    "generate_pair_dataset",
+    "mrfast_like_profile",
+    "minimap2_like_profile",
+    "bwamem_like_profile",
+]
+
+
+@dataclass(frozen=True)
+class PairProfile:
+    """Mixture parameters of a candidate-pair pool.
+
+    Attributes
+    ----------
+    read_length:
+        Length of the read and of the candidate reference segment.
+    true_fraction / repeat_fraction / random_fraction:
+        Mixture weights (normalised internally) of genuine, repeat-induced and
+        spurious candidates.
+    true_mean_edits:
+        Mean edit count (Poisson) of genuine candidates.
+    repeat_min_edits / repeat_max_edits:
+        Uniform range of edit counts for repeat-induced candidates.
+    undefined_fraction:
+        Fraction of pairs that receive an ``N`` base (undefined pairs).
+    indel_fraction:
+        Fraction of edits that are indels rather than substitutions.
+    """
+
+    read_length: int = 100
+    true_fraction: float = 0.3
+    repeat_fraction: float = 0.5
+    random_fraction: float = 0.2
+    true_mean_edits: float = 1.5
+    repeat_min_edits: int = 3
+    repeat_max_edits: int = 20
+    undefined_fraction: float = 0.001
+    indel_fraction: float = 0.15
+
+    def weights(self) -> np.ndarray:
+        w = np.array([self.true_fraction, self.repeat_fraction, self.random_fraction])
+        return w / w.sum()
+
+
+@dataclass
+class PairDataset:
+    """A pool of candidate pairs plus metadata, the unit of the experiments."""
+
+    name: str
+    reads: list[str]
+    segments: list[str]
+    read_length: int
+    profile: PairProfile | None = None
+    planned_edits: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.reads) != len(self.segments):
+            raise ValueError("reads and segments must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.reads)
+
+    @property
+    def n_undefined(self) -> int:
+        """Number of undefined pairs (either side contains an ``N``)."""
+        return sum(
+            1
+            for r, s in zip(self.reads, self.segments)
+            if UNKNOWN_BASE in r or UNKNOWN_BASE in s
+        )
+
+    def to_pairs(self) -> list[SequencePair]:
+        """Materialise the pool as :class:`SequencePair` objects."""
+        return [
+            SequencePair(read=r, reference_segment=s, read_id=i)
+            for i, (r, s) in enumerate(zip(self.reads, self.segments))
+        ]
+
+    def subset(self, n: int) -> "PairDataset":
+        """First ``n`` pairs as a new dataset (for scaled-down experiments)."""
+        return PairDataset(
+            name=f"{self.name}[:{n}]",
+            reads=self.reads[:n],
+            segments=self.segments[:n],
+            read_length=self.read_length,
+            profile=self.profile,
+            planned_edits=self.planned_edits[:n],
+        )
+
+
+def mrfast_like_profile(read_length: int, seeding_threshold: int) -> PairProfile:
+    """Profile of an mrFAST candidate pool seeded with threshold ``seeding_threshold``.
+
+    A small seeding threshold yields a *low-edit* profile (most candidates are
+    genuine or mildly diverged); a large threshold yields the paper's
+    *high-edit* profile (the pool is dominated by heavily diverged repeat
+    candidates).
+    """
+    # Seeding emits every location where a short k-mer of the read matches, so
+    # the pool is dominated by divergent candidates regardless of the seeding
+    # threshold; what the threshold changes is how much of that mass sits just
+    # above the filtering threshold (hard to reject) versus far above it.
+    high_edit = seeding_threshold > read_length * 0.1
+    if high_edit:
+        return PairProfile(
+            read_length=read_length,
+            true_fraction=0.02,
+            repeat_fraction=0.28,
+            random_fraction=0.70,
+            true_mean_edits=2.0,
+            repeat_min_edits=2,
+            repeat_max_edits=max(6, int(read_length * 0.5)),
+            undefined_fraction=0.001,
+        )
+    return PairProfile(
+        read_length=read_length,
+        true_fraction=0.07,
+        repeat_fraction=0.63,
+        random_fraction=0.30,
+        true_mean_edits=max(0.5, seeding_threshold * 0.3),
+        repeat_min_edits=2,
+        repeat_max_edits=max(6, int(read_length * 0.35)),
+        undefined_fraction=0.001,
+    )
+
+
+def minimap2_like_profile(read_length: int = 100) -> PairProfile:
+    """Candidates extracted before Minimap2's first chaining DP (Sup. Table S.5)."""
+    return PairProfile(
+        read_length=read_length,
+        true_fraction=0.06,
+        repeat_fraction=0.54,
+        random_fraction=0.40,
+        true_mean_edits=2.0,
+        repeat_min_edits=1,
+        repeat_max_edits=int(read_length * 0.35),
+        undefined_fraction=0.001,
+    )
+
+
+def bwamem_like_profile(read_length: int = 100) -> PairProfile:
+    """Candidates extracted before BWA-MEM's final global alignment (Sup. Table S.6).
+
+    BWA-MEM has already discarded most bad candidates at this point, so the
+    pool is small and dominated by genuine, low-edit pairs.
+    """
+    return PairProfile(
+        read_length=read_length,
+        true_fraction=0.70,
+        repeat_fraction=0.25,
+        random_fraction=0.05,
+        true_mean_edits=1.0,
+        repeat_min_edits=1,
+        repeat_max_edits=int(read_length * 0.15),
+        undefined_fraction=0.0005,
+    )
+
+
+def _inject_n(sequence: str, rng: np.random.Generator) -> str:
+    pos = int(rng.integers(0, len(sequence)))
+    return sequence[:pos] + UNKNOWN_BASE + sequence[pos + 1 :]
+
+
+def generate_pair_dataset(
+    n_pairs: int,
+    profile: PairProfile,
+    seed: int = 0,
+    name: str = "pairs",
+) -> PairDataset:
+    """Generate a candidate-pair pool according to ``profile``."""
+    rng = np.random.default_rng(seed)
+    length = profile.read_length
+    weights = profile.weights()
+    categories = rng.choice(3, size=n_pairs, p=weights)
+
+    reads: list[str] = []
+    segments: list[str] = []
+    planned: list[int] = []
+    for category in categories:
+        segment = generate_sequence(length, rng)
+        if category == 0:  # genuine mapping
+            edits = int(rng.poisson(profile.true_mean_edits))
+        elif category == 1:  # repeat-induced candidate
+            edits = int(rng.integers(profile.repeat_min_edits, profile.repeat_max_edits + 1))
+        else:  # spurious candidate: unrelated sequence
+            edits = -1
+        if edits >= 0:
+            read = apply_exact_edits(segment, edits, rng, indel_fraction=profile.indel_fraction)
+        else:
+            read = generate_sequence(length, rng)
+        if rng.random() < profile.undefined_fraction:
+            if rng.random() < 0.5:
+                read = _inject_n(read, rng)
+            else:
+                segment = _inject_n(segment, rng)
+        reads.append(read)
+        segments.append(segment)
+        planned.append(edits)
+    return PairDataset(
+        name=name,
+        reads=reads,
+        segments=segments,
+        read_length=length,
+        profile=profile,
+        planned_edits=planned,
+    )

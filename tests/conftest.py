@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.simulate.mutations import apply_exact_edits
+
+BASES = "ACGT"
+
+
+def random_sequence(length: int, rng: random.Random) -> str:
+    """Uniform random DNA string."""
+    return "".join(rng.choice(BASES) for _ in range(length))
+
+
+def mutated_pair(
+    length: int, n_edits: int, rng: random.Random, indel_fraction: float = 0.2
+) -> tuple[str, str]:
+    """A (read, segment) pair where the read is the segment with ~n_edits edits."""
+    segment = random_sequence(length, rng)
+    np_rng = np.random.default_rng(rng.randrange(1 << 30))
+    read = apply_exact_edits(segment, n_edits, np_rng, indel_fraction=indel_fraction)
+    return read, segment
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_pairs(rng) -> list[tuple[str, str]]:
+    """A small mixed pool of similar and dissimilar 100 bp pairs."""
+    pairs = []
+    for i in range(40):
+        if i % 3 == 0:
+            pairs.append(mutated_pair(100, rng.randrange(0, 4), rng))
+        elif i % 3 == 1:
+            pairs.append(mutated_pair(100, rng.randrange(6, 20), rng))
+        else:
+            pairs.append((random_sequence(100, rng), random_sequence(100, rng)))
+    return pairs

@@ -1,0 +1,135 @@
+"""Tests for the alignment substrate: edit distances, NW, SW."""
+
+import pytest
+
+from repro.align import (
+    alignment_to_cigar,
+    banded_edit_distance,
+    dp_edit_distance,
+    edit_distance,
+    myers_edit_distance,
+    needleman_wunsch,
+    smith_waterman,
+    within_threshold,
+)
+from conftest import mutated_pair, random_sequence
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("ACGT", "ACGT", 0),
+            ("ACGT", "", 4),
+            ("", "ACGT", 4),
+            ("ACGT", "AGGT", 1),
+            ("ACGT", "CGT", 1),
+            ("ACGT", "ACGTT", 1),
+            ("AAAA", "TTTT", 4),
+            ("KITTEN", "SITTING", 3),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+        assert dp_edit_distance(a, b) == expected
+
+    def test_symmetry(self, rng):
+        for _ in range(10):
+            a = random_sequence(rng.randrange(5, 60), rng)
+            b = random_sequence(rng.randrange(5, 60), rng)
+            assert edit_distance(a, b) == edit_distance(b, a)
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(10):
+            a = random_sequence(30, rng)
+            b = random_sequence(30, rng)
+            c = random_sequence(30, rng)
+            assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    def test_myers_matches_dp_on_random_pairs(self, rng):
+        for _ in range(20):
+            read, segment = mutated_pair(70, rng.randrange(0, 15), rng)
+            assert myers_edit_distance(read, segment) == dp_edit_distance(read, segment)
+
+    def test_n_character_never_matches(self):
+        assert edit_distance("ACGTN", "ACGTA") == 1
+        assert edit_distance("N", "N") == 0  # identical characters still match
+
+
+class TestBandedEditDistance:
+    def test_exact_within_band(self, rng):
+        for _ in range(20):
+            read, segment = mutated_pair(60, rng.randrange(0, 6), rng)
+            exact = edit_distance(read, segment)
+            band = 8
+            banded = banded_edit_distance(read, segment, band)
+            assert banded == (exact if exact <= band else band + 1)
+
+    def test_truncates_above_band(self, rng):
+        a = random_sequence(80, rng)
+        b = random_sequence(80, rng)
+        assert banded_edit_distance(a, b, 3) == 4
+
+    def test_length_difference_shortcut(self):
+        assert banded_edit_distance("ACGT", "ACGTACGTACGT", 3) == 4
+
+    def test_empty_strings(self):
+        assert banded_edit_distance("", "", 2) == 0
+        assert banded_edit_distance("", "AC", 2) == 2
+        assert banded_edit_distance("ACGT", "", 2) == 3  # truncated to band + 1
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            banded_edit_distance("A", "A", -1)
+
+    def test_within_threshold(self):
+        assert within_threshold("ACGT", "ACGA", 1)
+        assert not within_threshold("ACGT", "TGCA", 1)
+
+
+class TestNeedlemanWunsch:
+    def test_exact_match_score(self):
+        result = needleman_wunsch("ACGT", "ACGT")
+        assert result.score == 4
+        assert result.aligned_a == "ACGT"
+        assert result.aligned_b == "ACGT"
+        assert result.edit_operations == 0
+
+    def test_alignment_length_consistency(self, rng):
+        read, segment = mutated_pair(30, 4, rng)
+        result = needleman_wunsch(read, segment)
+        assert len(result.aligned_a) == len(result.aligned_b)
+        assert result.aligned_a.replace("-", "") == read
+        assert result.aligned_b.replace("-", "") == segment
+
+    def test_edit_operations_upper_bounds_edit_distance(self, rng):
+        read, segment = mutated_pair(40, 5, rng)
+        result = needleman_wunsch(read, segment)
+        assert result.edit_operations >= edit_distance(read, segment)
+
+    def test_gap_alignment(self):
+        result = needleman_wunsch("ACGT", "AGT")
+        assert result.edit_operations == 1
+
+    def test_cigar(self):
+        assert alignment_to_cigar("ACGT", "AC-T") == "2M1I1M"
+        assert alignment_to_cigar("AC-T", "ACGT") == "2M1D1M"
+        with pytest.raises(ValueError):
+            alignment_to_cigar("AC", "A")
+
+
+class TestSmithWaterman:
+    def test_finds_embedded_match(self):
+        result = smith_waterman("TTTTACGTACGTTTT", "ACGTACGT")
+        assert result.score >= 14  # 8 matches with default scoring minus nothing
+        assert "ACGTACGT" in result.aligned_a.replace("-", "")
+
+    def test_no_similarity_low_score(self):
+        result = smith_waterman("AAAAAAAA", "TTTTTTTT")
+        assert result.score == 0
+
+    def test_alignment_bounds(self):
+        result = smith_waterman("GGACGTA", "ACGT")
+        assert 0 <= result.a_start <= result.a_end <= 7
+        assert 0 <= result.b_start <= result.b_end <= 4

@@ -1,0 +1,136 @@
+"""Tests for the analysis package: accuracy metrics, throughput, speedup, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    billions_in_40_minutes,
+    compute_speedup,
+    evaluate_decisions,
+    format_series,
+    format_table,
+    labels_from_distances,
+    millions_per_second,
+    pairs_per_second,
+    print_table,
+    ThroughputEntry,
+)
+
+
+class TestAccuracyMetrics:
+    def test_confusion_counts(self):
+        filter_accepts = np.array([True, True, False, False, True])
+        truth_accepts = np.array([True, False, False, True, False])
+        summary = evaluate_decisions(filter_accepts, truth_accepts)
+        assert summary.true_accepts == 1
+        assert summary.false_accepts == 2
+        assert summary.true_rejects == 1
+        assert summary.false_rejects == 1
+        assert summary.false_accept_rate == pytest.approx(2 / 3)
+        assert summary.true_reject_rate == pytest.approx(1 / 3)
+        assert summary.false_reject_rate == pytest.approx(1 / 2)
+
+    def test_counts_add_up(self):
+        rng = np.random.default_rng(0)
+        f = rng.random(200) < 0.6
+        t = rng.random(200) < 0.4
+        s = evaluate_decisions(f, t)
+        assert s.true_accepts + s.false_accepts + s.true_rejects + s.false_rejects == 200
+        assert s.filter_accepted == s.true_accepts + s.false_accepts
+        assert s.truth_rejected == s.true_rejects + s.false_accepts
+
+    def test_no_rejections_rates_zero(self):
+        s = evaluate_decisions(np.array([True, True]), np.array([True, True]))
+        assert s.false_accept_rate == 0.0
+        assert s.true_reject_rate == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_decisions(np.array([True]), np.array([True, False]))
+
+    def test_labels_from_distances(self):
+        distances = np.array([0, 3, 7])
+        assert labels_from_distances(distances, 3).tolist() == [True, True, False]
+        undefined = np.array([False, False, True])
+        assert labels_from_distances(distances, 3, undefined).tolist() == [True, True, True]
+
+    def test_as_row_keys(self):
+        row = evaluate_decisions(np.array([True]), np.array([False])).as_row()
+        assert row["false_accepts"] == 1
+        assert "false_accept_rate_pct" in row
+
+
+class TestThroughput:
+    def test_pairs_per_second(self):
+        assert pairs_per_second(30_000_000, 0.15) == pytest.approx(2e8)
+        assert millions_per_second(30_000_000, 0.15) == pytest.approx(200.0)
+
+    def test_billions_in_40_minutes_matches_paper_anchor(self):
+        # 0.15 s for 30 M pairs -> 480 billion in 40 minutes (paper: 476.8).
+        assert billions_in_40_minutes(30_000_000, 0.15) == pytest.approx(480.0, rel=0.01)
+
+    def test_zero_elapsed_raises(self):
+        with pytest.raises(ValueError):
+            pairs_per_second(10, 0.0)
+
+    def test_throughput_entry_row(self):
+        entry = ThroughputEntry("GPU", 30_000_000, kernel_time_s=0.15, filter_time_s=24.0)
+        row = entry.as_row()
+        assert row["kernel_b40"] > row["filter_b40"]
+        assert row["label"] == "GPU"
+
+
+class TestSpeedup:
+    def test_basic_speedup_math(self):
+        report = compute_speedup(
+            n_candidate_pairs=1_000_000,
+            n_surviving_pairs=100_000,
+            verification_cost_per_pair_s=1e-6,
+            filter_kernel_s=0.05,
+            filter_preprocess_s=0.1,
+            other_mapping_time_s=1.0,
+        )
+        assert report.reduction == pytest.approx(0.9)
+        assert report.theoretical_speedup == pytest.approx(10.0)
+        assert report.achieved_verification_speedup == pytest.approx(1.0 / 0.15)
+        assert report.overall_speedup == pytest.approx(2.0 / 1.25)
+        assert report.as_row()["reduction_pct"] == 90.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_speedup(0, 0, 1e-6, 0, 0, 0)
+        with pytest.raises(ValueError):
+            compute_speedup(10, 11, 1e-6, 0, 0, 0)
+
+    def test_full_reduction_infinite_theoretical(self):
+        report = compute_speedup(100, 0, 1e-6, 0.0, 0.0, 0.0)
+        assert report.theoretical_speedup == float("inf")
+
+
+class TestTables:
+    def test_format_table_alignment_and_values(self):
+        rows = [
+            {"name": "GPU", "time_s": 0.15, "pairs": 30_000_000},
+            {"name": "CPU", "time_s": 10.0, "pairs": 30_000_000},
+        ]
+        text = format_table(rows, title="Throughput")
+        lines = text.splitlines()
+        assert lines[0] == "Throughput"
+        assert "name" in lines[1] and "time_s" in lines[1]
+        assert "30,000,000" in text
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series({1: 10, 2: 20}, x_label="devices", y_label="mps")
+        assert "devices" in text and "20" in text
+
+    def test_print_table(self, capsys):
+        print_table([{"a": 1}])
+        assert "a" in capsys.readouterr().out

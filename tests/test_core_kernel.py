@@ -1,0 +1,155 @@
+"""Tests for the word-array kernel: carry transfers and equivalence with the reference."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    device_encode,
+    fold_words_to_base_mask,
+    run_gatekeeper_kernel,
+    shift_words_left,
+    shift_words_right,
+    xor_words,
+)
+from repro.filters import EdgePolicy, gatekeeper_batch
+from repro.filters.bitvector import shifted_mask
+from repro.genomics import encode_batch_codes, pack_codes_to_words, unpack_words_to_codes
+from conftest import mutated_pair, random_sequence
+
+
+def _codes(rng, n, length):
+    reads = [random_sequence(length, rng) for _ in range(n)]
+    codes, _ = encode_batch_codes(reads)
+    return codes
+
+
+class TestWordShifts:
+    def test_shift_right_matches_code_shift(self, rng):
+        codes = _codes(rng, 6, 100)
+        words = pack_codes_to_words(codes, word_bits=64)
+        for k in (1, 3, 7, 15, 31):
+            shifted = shift_words_right(words, k)
+            back = unpack_words_to_codes(shifted, 100, word_bits=64)
+            expected = np.zeros_like(codes)
+            expected[:, k:] = codes[:, : 100 - k]
+            assert np.array_equal(back, expected), f"shift {k}"
+
+    def test_shift_left_matches_code_shift(self, rng):
+        codes = _codes(rng, 6, 100)
+        words = pack_codes_to_words(codes, word_bits=64)
+        for k in (1, 2, 5, 16, 31):
+            shifted = shift_words_left(words, k)
+            back = unpack_words_to_codes(shifted, 100, word_bits=64)
+            expected = np.zeros_like(codes)
+            expected[:, : 100 - k] = codes[:, k:]
+            # Positions beyond the original sequence receive padding bits.
+            assert np.array_equal(back[:, : 100 - k], expected[:, : 100 - k]), f"shift {k}"
+
+    def test_zero_shift_is_identity_copy(self, rng):
+        codes = _codes(rng, 2, 64)
+        words = pack_codes_to_words(codes, word_bits=64)
+        right = shift_words_right(words, 0)
+        left = shift_words_left(words, 0)
+        assert np.array_equal(right, words) and np.array_equal(left, words)
+        assert right is not words  # a copy, not an alias
+
+    def test_carry_bits_cross_word_boundary(self):
+        # One T at the end of word 0; shifting right by one base must carry
+        # its bits into the top of word 1.
+        codes, _ = encode_batch_codes(["A" * 31 + "T" + "A" * 33])
+        words = pack_codes_to_words(codes, word_bits=64)
+        shifted = shift_words_right(words, 1)
+        back = unpack_words_to_codes(shifted, 65, word_bits=64)
+        assert back[0, 32] == 3  # the T moved into the second word
+        assert back[0, 31] == 0
+
+    def test_shift_too_large_raises(self, rng):
+        words = pack_codes_to_words(_codes(rng, 1, 64), word_bits=64)
+        with pytest.raises(ValueError):
+            shift_words_right(words, 32)
+        with pytest.raises(ValueError):
+            shift_words_left(words, 40)
+
+
+class TestXorFold:
+    def test_xor_fold_equals_hamming_mask(self, rng):
+        read_codes = _codes(rng, 5, 90)
+        ref_codes = _codes(rng, 5, 90)
+        read_words = pack_codes_to_words(read_codes, word_bits=64)
+        ref_words = pack_codes_to_words(ref_codes, word_bits=64)
+        folded = fold_words_to_base_mask(xor_words(read_words, ref_words), 90)
+        expected = (read_codes != ref_codes).astype(np.uint8)
+        assert np.array_equal(folded, expected)
+
+    def test_shifted_xor_fold_equals_shifted_mask(self, rng):
+        read_codes = _codes(rng, 4, 80)
+        ref_codes = _codes(rng, 4, 80)
+        read_words = pack_codes_to_words(read_codes, word_bits=64)
+        ref_words = pack_codes_to_words(ref_codes, word_bits=64)
+        for k in (1, 4, 9):
+            folded = fold_words_to_base_mask(
+                xor_words(shift_words_right(read_words, k), ref_words), 80
+            )
+            folded[:, :k] = 0  # normalise vacant positions like the kernel does
+            for i in range(4):
+                expected = shifted_mask(read_codes[i], ref_codes[i], k, vacant_value=0)
+                assert np.array_equal(folded[i], expected)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("edge_policy", [EdgePolicy.ONE, EdgePolicy.ZERO])
+    def test_kernel_matches_code_batch(self, rng, edge_policy):
+        pairs = [mutated_pair(100, rng.randrange(0, 20), rng) for _ in range(30)]
+        reads = [p[0] for p in pairs]
+        refs = [p[1] for p in pairs]
+        read_codes, read_undef = encode_batch_codes(reads)
+        ref_codes, ref_undef = encode_batch_codes(refs)
+        undefined = read_undef | ref_undef
+        threshold = 6
+        kernel_out = run_gatekeeper_kernel(
+            device_encode(read_codes),
+            device_encode(ref_codes),
+            length=100,
+            error_threshold=threshold,
+            edge_policy=edge_policy,
+            undefined=undefined,
+        )
+        batch_out = gatekeeper_batch(
+            read_codes, ref_codes, threshold, undefined=undefined, edge_policy=edge_policy
+        )
+        assert np.array_equal(kernel_out.estimated_edits, batch_out.estimated_edits)
+        assert np.array_equal(kernel_out.accepted, batch_out.accepted)
+
+    def test_kernel_undefined_pairs_pass(self, rng):
+        reads = ["ACGTN" + random_sequence(95, rng)]
+        refs = [random_sequence(100, rng)]
+        read_codes, read_undef = encode_batch_codes(reads)
+        ref_codes, ref_undef = encode_batch_codes(refs)
+        out = run_gatekeeper_kernel(
+            device_encode(read_codes),
+            device_encode(ref_codes),
+            length=100,
+            error_threshold=0,
+            undefined=read_undef | ref_undef,
+        )
+        assert out.accepted[0]
+        assert out.estimated_edits[0] == 0
+
+    def test_kernel_shape_mismatch_raises(self, rng):
+        read_codes = _codes(rng, 2, 64)
+        ref_codes = _codes(rng, 3, 64)
+        with pytest.raises(ValueError):
+            run_gatekeeper_kernel(
+                device_encode(read_codes), device_encode(ref_codes), 64, 2
+            )
+
+    def test_kernel_250bp_threshold_25(self, rng):
+        # The largest configuration in the paper: 250 bp at 10% threshold.
+        pairs = [mutated_pair(250, rng.randrange(0, 40), rng) for _ in range(8)]
+        read_codes, _ = encode_batch_codes([p[0] for p in pairs])
+        ref_codes, _ = encode_batch_codes([p[1] for p in pairs])
+        out = run_gatekeeper_kernel(
+            device_encode(read_codes), device_encode(ref_codes), 250, 25
+        )
+        batch = gatekeeper_batch(read_codes, ref_codes, 25)
+        assert np.array_equal(out.estimated_edits, batch.estimated_edits)

@@ -1,0 +1,80 @@
+"""Tests for the GateKeeper-CPU multicore baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import GateKeeperGPU
+from repro.filters import EdgePolicy, GateKeeperCPU, GateKeeperFilter
+from repro.simulate import build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("Set 3", n_pairs=200, seed=21)
+
+
+class TestGateKeeperCPU:
+    def test_decisions_match_gpu_pipeline(self, dataset):
+        cpu = GateKeeperCPU(error_threshold=5)
+        gpu = GateKeeperGPU(read_length=100, error_threshold=5)
+        cpu_result = cpu.filter_dataset(dataset)
+        gpu_result = gpu.filter_dataset(dataset)
+        assert np.array_equal(cpu_result.accepted, gpu_result.accepted)
+        assert np.array_equal(cpu_result.estimated_edits, gpu_result.estimated_edits)
+
+    def test_multithreaded_run_matches_single_thread(self, dataset):
+        single = GateKeeperCPU(error_threshold=5, threads=1, chunk_size=32)
+        multi = GateKeeperCPU(error_threshold=5, threads=4, chunk_size=32)
+        r1 = single.filter_dataset(dataset)
+        r4 = multi.filter_dataset(dataset)
+        assert np.array_equal(r1.accepted, r4.accepted)
+        assert r1.chunks == r4.chunks > 1
+
+    def test_legacy_edge_policy_matches_original_gatekeeper(self, dataset):
+        cpu = GateKeeperCPU(error_threshold=5, edge_policy=EdgePolicy.ZERO)
+        result = cpu.filter_dataset(dataset)
+        scalar = GateKeeperFilter(5)
+        for i in range(0, dataset.n_pairs, 23):
+            expected = scalar.filter_pair(dataset.reads[i], dataset.segments[i]).accepted
+            if "N" in dataset.reads[i] or "N" in dataset.segments[i]:
+                expected = True
+            assert bool(result.accepted[i]) == expected
+
+    def test_modelled_times_scale_with_threads(self, dataset):
+        one = GateKeeperCPU(error_threshold=5, threads=1).filter_dataset(dataset)
+        twelve = GateKeeperCPU(error_threshold=5, threads=12).filter_dataset(dataset)
+        assert twelve.kernel_time_s < one.kernel_time_s
+        assert twelve.filter_time_s < one.filter_time_s
+        assert one.wall_clock_s > 0
+
+    def test_result_counters(self, dataset):
+        result = GateKeeperCPU(error_threshold=5).filter_dataset(dataset)
+        assert result.n_rejected == int((~result.accepted).sum())
+        assert result.estimated_edits.shape == (dataset.n_pairs,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GateKeeperCPU(error_threshold=-1)
+        with pytest.raises(ValueError):
+            GateKeeperCPU(error_threshold=1, threads=0)
+        with pytest.raises(ValueError):
+            GateKeeperCPU(error_threshold=1, chunk_size=0)
+        cpu = GateKeeperCPU(error_threshold=1)
+        with pytest.raises(ValueError):
+            cpu.filter_lists([], [])
+        with pytest.raises(ValueError):
+            cpu.filter_lists(["ACGT"], [])
+
+
+class TestProfilerCacheModel:
+    def test_cache_hit_rates_match_paper_scale(self):
+        from repro.gpusim import GTX_1080_TI, KernelProfiler
+
+        report = KernelProfiler(GTX_1080_TI).profile(100, 4)
+        # Paper Section 6: L2 hit rate ~86.2%, unified/texture L1 ~31.2%.
+        assert report.l2_hit_rate == pytest.approx(0.862, abs=0.02)
+        assert report.l1_hit_rate == pytest.approx(0.312, abs=0.02)
+        longer = KernelProfiler(GTX_1080_TI).profile(250, 10)
+        assert longer.l1_hit_rate <= report.l1_hit_rate
+        assert longer.l2_hit_rate <= report.l2_hit_rate
+        assert "l2_hit_rate_pct" in report.as_dict()

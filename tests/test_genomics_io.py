@@ -1,0 +1,141 @@
+"""Tests for sequence objects, FASTA/FASTQ IO and the reference genome container."""
+
+import numpy as np
+import pytest
+
+from repro.genomics import (
+    Read,
+    ReferenceGenome,
+    Sequence,
+    SequencePair,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+
+class TestSequenceObjects:
+    def test_sequence_upper_cases(self):
+        seq = Sequence(name="s", bases="acgt")
+        assert seq.bases == "ACGT"
+        assert len(seq) == 4
+        assert seq[1] == "C"
+
+    def test_sequence_has_unknown(self):
+        assert Sequence("s", "ACNGT").has_unknown
+        assert not Sequence("s", "ACGT").has_unknown
+
+    def test_sequence_reverse_complement(self):
+        assert Sequence("s", "AACG").reverse_complement().bases == "CGTT"
+
+    def test_subsequence(self):
+        sub = Sequence("s", "ACGTACGT").subsequence(2, 6)
+        assert sub.bases == "GTAC"
+
+    def test_read_quality_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Read(name="r", bases="ACGT", quality="II")
+
+    def test_read_defaults(self):
+        read = Read(name="r", bases="ACGT")
+        assert read.true_position == -1
+        assert read.quality == ""
+
+    def test_pair_requires_uppercase_normalisation(self):
+        pair = SequencePair(read="acgt", reference_segment="tgca")
+        assert pair.read == "ACGT"
+        assert pair.reference_segment == "TGCA"
+        assert len(pair) == 4
+
+    def test_pair_undefined(self):
+        assert SequencePair(read="ACNT", reference_segment="ACGT").is_undefined
+        assert SequencePair(read="ACTT", reference_segment="ANGT").is_undefined
+        assert not SequencePair(read="ACTT", reference_segment="ACGT").is_undefined
+
+
+class TestFastaFastq:
+    def test_fasta_roundtrip(self, tmp_path):
+        records = [Sequence("chr1", "ACGT" * 30), Sequence("chr2", "TTTTGGGG")]
+        path = tmp_path / "ref.fa"
+        write_fasta(path, records, line_width=17)
+        back = read_fasta(path)
+        assert [r.name for r in back] == ["chr1", "chr2"]
+        assert [r.bases for r in back] == [r.bases for r in records]
+
+    def test_fasta_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "ref.fa.gz"
+        write_fasta(path, [Sequence("c", "ACGTACGTAC")])
+        assert read_fasta(path)[0].bases == "ACGTACGTAC"
+
+    def test_fasta_header_names_stop_at_whitespace(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">chr1 extra description\nACGT\nACGT\n")
+        record = read_fasta(path)[0]
+        assert record.name == "chr1"
+        assert record.bases == "ACGTACGT"
+
+    def test_fasta_without_header_raises(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_fastq_roundtrip(self, tmp_path):
+        reads = [Read(name="r1", bases="ACGT", quality="IIII"), Read(name="r2", bases="GGTT")]
+        path = tmp_path / "reads.fq"
+        write_fastq(path, reads)
+        back = read_fastq(path)
+        assert [r.name for r in back] == ["r1", "r2"]
+        assert back[0].quality == "IIII"
+        assert back[1].quality == "IIII"  # default constant quality
+
+    def test_fastq_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.fq"
+        path.write_text("@r1\nACGT\nIIII\nIIII\n")
+        with pytest.raises(ValueError):
+            read_fastq(path)
+
+
+class TestReferenceGenome:
+    def test_length_and_indexing(self):
+        ref = ReferenceGenome("chr", "acgtacgt")
+        assert len(ref) == 8
+        assert ref[0:4] == "ACGT"
+
+    def test_n_positions(self):
+        ref = ReferenceGenome("chr", "ACGTNNACGTN")
+        assert ref.n_positions.tolist() == [4, 5, 10]
+
+    def test_segment_has_n(self):
+        ref = ReferenceGenome("chr", "ACGTNNACGT")
+        assert ref.segment_has_n(2, 4)
+        assert not ref.segment_has_n(6, 4)
+        assert not ReferenceGenome("chr", "ACGT").segment_has_n(0, 4)
+
+    def test_segment_extraction(self):
+        ref = ReferenceGenome("chr", "ACGTACGTAC")
+        assert ref.segment(2, 4) == "GTAC"
+
+    def test_segment_clamped_with_n_padding(self):
+        ref = ReferenceGenome("chr", "ACGTACGTAC")
+        assert ref.segment(-2, 5) == "NNACG"
+        assert ref.segment(8, 5) == "ACNNN"
+
+    def test_segments_batch(self):
+        ref = ReferenceGenome("chr", "ACGTACGTAC")
+        assert ref.segments([0, 2], 4) == ["ACGT", "GTAC"]
+
+    def test_from_sequence_and_concatenate(self):
+        a = Sequence("a", "ACGT")
+        b = Sequence("b", "GGGG")
+        combined = ReferenceGenome.concatenate([a, b], spacer_n=2)
+        assert combined.bases == "ACGTNNGGGG"
+        assert combined.name == "a+b"
+        assert ReferenceGenome.from_sequence(a).bases == "ACGT"
+
+    def test_encode_segments(self):
+        ref = ReferenceGenome("chr", "ACGTACGTACGTACGTACGT")
+        batch = ref.encode_segments([0, 4], 8)
+        assert batch.n_sequences == 2
+        assert not batch.undefined.any()

@@ -1,0 +1,93 @@
+"""Tests for the device models and the CUDA occupancy calculator."""
+
+import pytest
+
+from repro.gpusim import (
+    GTX_1080_TI,
+    SETUP_1,
+    SETUP_2,
+    TESLA_K20X,
+    occupancy_table,
+    theoretical_occupancy,
+)
+from repro.gpusim.launch import KERNEL_REGISTERS_PER_THREAD
+
+
+class TestDeviceSpecs:
+    def test_pascal_supports_prefetch_and_advice(self):
+        assert GTX_1080_TI.supports_prefetch
+        assert GTX_1080_TI.supports_memory_advise
+        assert GTX_1080_TI.compute_capability == (6, 1)
+
+    def test_kepler_lacks_prefetch(self):
+        assert not TESLA_K20X.supports_prefetch
+        assert not TESLA_K20X.supports_memory_advise
+        assert TESLA_K20X.compute_capability == (3, 5)
+
+    def test_pcie_bandwidth_generation_ordering(self):
+        assert GTX_1080_TI.pcie_bandwidth_bytes_per_s > TESLA_K20X.pcie_bandwidth_bytes_per_s
+
+    def test_compute_throughput_ordering(self):
+        assert GTX_1080_TI.compute_throughput > TESLA_K20X.compute_throughput
+
+    def test_setups_device_counts(self):
+        assert SETUP_1.n_devices == 8
+        assert SETUP_2.n_devices == 4
+        assert len(SETUP_1.devices(3)) == 3
+        with pytest.raises(ValueError):
+            SETUP_2.devices(5)
+
+    def test_with_free_memory_fraction(self):
+        reduced = GTX_1080_TI.with_free_memory_fraction(0.5)
+        assert reduced.global_memory_bytes == GTX_1080_TI.global_memory_bytes // 2
+        assert reduced.name == GTX_1080_TI.name
+
+    def test_cuda_core_counts_match_paper(self):
+        assert GTX_1080_TI.cuda_cores == 3584  # cited in the introduction
+        assert TESLA_K20X.cuda_cores == 2688
+
+
+class TestOccupancy:
+    def test_paper_configuration_50_percent(self):
+        # 48 registers/thread with 1024-thread blocks -> 50% (Section 5.4.1).
+        occ = theoretical_occupancy(GTX_1080_TI, KERNEL_REGISTERS_PER_THREAD, 1024)
+        assert occ.occupancy == pytest.approx(0.5)
+        assert occ.limiting_factor == "registers"
+        assert occ.active_warps_per_sm == 32
+
+    def test_paper_configuration_63_percent_with_small_blocks(self):
+        # The paper: 63% theoretical occupancy requires <=256-thread blocks.
+        occ = theoretical_occupancy(GTX_1080_TI, KERNEL_REGISTERS_PER_THREAD, 256)
+        assert 0.6 <= occ.occupancy <= 0.65
+
+    def test_low_register_kernel_reaches_full_occupancy(self):
+        occ = theoretical_occupancy(GTX_1080_TI, 32, 1024)
+        assert occ.occupancy == pytest.approx(1.0)
+
+    def test_shared_memory_limit(self):
+        occ = theoretical_occupancy(GTX_1080_TI, 32, 256, shared_memory_per_block=48 * 1024)
+        assert occ.limiting_factor == "shared_memory"
+        assert occ.active_blocks_per_sm == 2
+
+    def test_occupancy_bounds(self):
+        for regs in (16, 32, 48, 64, 128):
+            for threads in (64, 128, 512, 1024):
+                occ = theoretical_occupancy(GTX_1080_TI, regs, threads)
+                assert 0.0 <= occ.occupancy <= 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            theoretical_occupancy(GTX_1080_TI, 48, 0)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(GTX_1080_TI, 48, 4096)
+        with pytest.raises(ValueError):
+            theoretical_occupancy(GTX_1080_TI, 0, 128)
+
+    def test_occupancy_table(self):
+        table = occupancy_table(GTX_1080_TI, 48)
+        assert set(table) == {128, 256, 512, 1024}
+        assert table[256].occupancy >= table[1024].occupancy
+
+    def test_kepler_same_register_budget(self):
+        occ = theoretical_occupancy(TESLA_K20X, 48, 1024)
+        assert 0.0 < occ.occupancy <= 1.0

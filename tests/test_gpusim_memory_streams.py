@@ -1,0 +1,118 @@
+"""Tests for the unified-memory model and the stream/event bookkeeping."""
+
+import pytest
+
+from repro.gpusim import (
+    GTX_1080_TI,
+    TESLA_K20X,
+    CudaEvent,
+    MemoryAdvice,
+    MemoryLocation,
+    OutOfMemoryError,
+    StreamPool,
+    UnifiedMemoryManager,
+)
+
+
+class TestUnifiedMemory:
+    def test_allocation_and_free_accounting(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        start_free = memory.free_bytes
+        memory.allocate("reads", 1024)
+        memory.allocate("refs", 2048)
+        assert memory.allocated_bytes == 3072
+        assert memory.free_bytes == start_free - 3072
+        memory.free("reads")
+        assert memory.allocated_bytes == 2048
+
+    def test_duplicate_name_rejected(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        memory.allocate("a", 10)
+        with pytest.raises(ValueError):
+            memory.allocate("a", 10)
+
+    def test_out_of_memory(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        with pytest.raises(OutOfMemoryError):
+            memory.allocate("huge", memory.capacity + 1)
+
+    def test_negative_size_rejected(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        with pytest.raises(ValueError):
+            memory.allocate("neg", -1)
+
+    def test_reserved_fraction_reduces_capacity(self):
+        full = UnifiedMemoryManager(GTX_1080_TI, reserved_fraction=0.0)
+        reserved = UnifiedMemoryManager(GTX_1080_TI, reserved_fraction=0.5)
+        assert reserved.capacity == pytest.approx(full.capacity * 0.5)
+
+    def test_advice_applied_on_pascal_skipped_on_kepler(self):
+        pascal = UnifiedMemoryManager(GTX_1080_TI)
+        pascal.allocate("buf", 100)
+        assert pascal.advise("buf", MemoryAdvice.PREFERRED_LOCATION_DEVICE)
+        assert pascal.buffers["buf"].advice is MemoryAdvice.PREFERRED_LOCATION_DEVICE
+
+        kepler = UnifiedMemoryManager(TESLA_K20X)
+        kepler.allocate("buf", 100)
+        assert not kepler.advise("buf", MemoryAdvice.PREFERRED_LOCATION_DEVICE)
+        assert kepler.buffers["buf"].advice is None
+
+    def test_prefetch_moves_pages_and_counts_bytes(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        memory.allocate("buf", 4096)
+        assert memory.prefetch_async("buf")
+        assert memory.buffers["buf"].location is MemoryLocation.DEVICE
+        assert memory.stats.bytes_prefetched == 4096
+        # Touching an already-resident buffer causes no fault migration.
+        memory.touch_on_device("buf")
+        assert memory.stats.bytes_faulted == 0
+
+    def test_prefetch_unsupported_on_kepler_faults_instead(self):
+        memory = UnifiedMemoryManager(TESLA_K20X)
+        memory.allocate("buf", 4096)
+        assert not memory.prefetch_async("buf")
+        memory.touch_on_device("buf")
+        assert memory.stats.bytes_faulted == 4096
+        assert memory.stats.fault_migrations == 1
+
+    def test_host_touch_migrates_back(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        memory.allocate("results", 128)
+        memory.touch_on_device("results")
+        memory.touch_on_host("results")
+        assert memory.buffers["results"].location is MemoryLocation.HOST
+        assert memory.stats.fault_migrations == 2
+
+    def test_reset(self):
+        memory = UnifiedMemoryManager(GTX_1080_TI)
+        memory.allocate("buf", 10)
+        memory.touch_on_device("buf")
+        memory.reset()
+        assert memory.allocated_bytes == 0
+        assert memory.stats.total_bytes == 0
+
+
+class TestStreams:
+    def test_streams_overlap(self):
+        pool = StreamPool()
+        a = pool.create()
+        b = pool.create()
+        a.enqueue("prefetch", "reads", 0.5)
+        b.enqueue("prefetch", "refs", 0.3)
+        assert pool.makespan_s == pytest.approx(0.5)
+        assert pool.serialized_time_s == pytest.approx(0.8)
+        assert a.synchronize() == pytest.approx(0.5)
+
+    def test_stream_ids_unique(self):
+        pool = StreamPool()
+        assert pool.create().stream_id != pool.create().stream_id
+
+    def test_events_measure_elapsed(self):
+        start, stop = CudaEvent("start"), CudaEvent("stop")
+        start.record(1.0)
+        stop.record(3.5)
+        assert stop.elapsed_since(start) == pytest.approx(2.5)
+
+    def test_unrecorded_event_raises(self):
+        with pytest.raises(ValueError):
+            CudaEvent("a").elapsed_since(CudaEvent("b"))

@@ -1,0 +1,197 @@
+"""Tests for the data simulation substrate: genomes, reads and pair pools."""
+
+import numpy as np
+import pytest
+
+from repro.align import edit_distance
+from repro.genomics import UNKNOWN_BASE
+from repro.simulate import (
+    DEFAULT_N_PAIRS,
+    GenomeProfile,
+    MutationProfile,
+    PAPER_DATASETS,
+    PairProfile,
+    apply_exact_edits,
+    apply_profile,
+    build_dataset,
+    bwamem_like_profile,
+    generate_pair_dataset,
+    generate_reference,
+    generate_sequence,
+    minimap2_like_profile,
+    mrfast_like_profile,
+    simulate_reads,
+)
+
+
+class TestGenomeGeneration:
+    def test_length_and_alphabet(self):
+        ref = generate_reference(5_000, seed=1)
+        assert len(ref) == 5_000
+        assert set(ref.bases) <= set("ACGTN")
+
+    def test_deterministic_with_seed(self):
+        assert generate_reference(2_000, seed=7).bases == generate_reference(2_000, seed=7).bases
+        assert generate_reference(2_000, seed=7).bases != generate_reference(2_000, seed=8).bases
+
+    def test_n_islands_present(self):
+        profile = GenomeProfile(n_island_count=3, n_island_length=20)
+        ref = generate_reference(3_000, seed=2, profile=profile)
+        assert ref.n_positions.size >= 20
+
+    def test_no_n_islands_when_disabled(self):
+        profile = GenomeProfile(n_island_count=0)
+        ref = generate_reference(2_000, seed=3, profile=profile)
+        assert ref.n_positions.size == 0
+
+    def test_duplications_create_repeated_segments(self):
+        profile = GenomeProfile(
+            duplication_fraction=0.3,
+            duplication_length=200,
+            duplication_divergence=0.0,
+            n_island_count=0,
+            tandem_repeat_fraction=0.0,
+        )
+        ref = generate_reference(10_000, seed=4, profile=profile)
+        # At least one 50-mer should occur more than once thanks to the copies.
+        seen = {}
+        repeated = False
+        for pos in range(0, len(ref) - 50, 10):
+            kmer = ref.bases[pos : pos + 50]
+            if kmer in seen:
+                repeated = True
+                break
+            seen[kmer] = pos
+        assert repeated
+
+    def test_gc_content_controllable(self):
+        seq = generate_sequence(20_000, np.random.default_rng(0), gc_content=0.7)
+        gc = (seq.count("G") + seq.count("C")) / len(seq)
+        assert 0.65 < gc < 0.75
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            generate_reference(0)
+
+
+class TestMutations:
+    def test_apply_profile_preserves_length(self):
+        rng = np.random.default_rng(0)
+        seq = generate_sequence(200, rng)
+        mutated, edits = apply_profile(seq, MutationProfile(0.05, 0.01, 0.01), rng)
+        assert len(mutated) == len(seq)
+        assert edits >= 0
+
+    def test_zero_rates_identity(self):
+        rng = np.random.default_rng(0)
+        seq = generate_sequence(100, rng)
+        mutated, edits = apply_profile(seq, MutationProfile(0.0, 0.0, 0.0), rng)
+        assert mutated == seq
+        assert edits == 0
+
+    def test_apply_exact_edits_bounded_distance(self):
+        rng = np.random.default_rng(1)
+        seq = generate_sequence(100, rng)
+        for edits in (0, 1, 3, 8):
+            mutated = apply_exact_edits(seq, edits, rng)
+            assert len(mutated) == len(seq)
+            assert edit_distance(mutated, seq) <= edits + 2  # tail padding may add a little
+
+    def test_profile_scaling(self):
+        profile = MutationProfile(0.01, 0.001, 0.001)
+        scaled = profile.scaled(10)
+        assert scaled.substitution_rate == pytest.approx(0.1)
+        assert scaled.insertion_rate == pytest.approx(0.01)
+
+
+class TestReadSimulation:
+    def test_read_count_length_and_positions(self):
+        ref = generate_reference(5_000, seed=0)
+        reads = simulate_reads(ref, 50, 100, seed=1)
+        assert len(reads) == 50
+        assert all(len(r) == 100 for r in reads)
+        assert all(0 <= r.true_position <= len(ref) - 100 for r in reads)
+
+    def test_low_error_reads_map_back(self):
+        ref = generate_reference(5_000, seed=0, profile=GenomeProfile(n_island_count=0))
+        reads = simulate_reads(ref, 20, 80, profile=MutationProfile(0.01, 0.0, 0.0), seed=2)
+        for read in reads:
+            template = ref.segment(read.true_position, 80)
+            assert edit_distance(read.bases, template) <= 10
+
+    def test_reference_shorter_than_read_raises(self):
+        ref = generate_reference(50, seed=0)
+        with pytest.raises(ValueError):
+            simulate_reads(ref, 5, 100)
+
+
+class TestPairDatasets:
+    def test_generate_pair_dataset_sizes(self):
+        profile = mrfast_like_profile(100, 5)
+        dataset = generate_pair_dataset(200, profile, seed=0, name="t")
+        assert dataset.n_pairs == 200
+        assert dataset.read_length == 100
+        assert all(len(r) == 100 for r in dataset.reads)
+        assert all(len(s) == 100 for s in dataset.segments)
+
+    def test_undefined_fraction_respected(self):
+        profile = PairProfile(read_length=60, undefined_fraction=0.5)
+        dataset = generate_pair_dataset(300, profile, seed=1)
+        assert dataset.n_undefined > 50
+
+    def test_to_pairs_and_subset(self):
+        dataset = build_dataset("Set 1", n_pairs=50, seed=0)
+        pairs = dataset.to_pairs()
+        assert len(pairs) == 50
+        sub = dataset.subset(10)
+        assert sub.n_pairs == 10
+        assert sub.reads[0] == dataset.reads[0]
+
+    def test_low_edit_profile_has_more_similar_pairs_than_high(self):
+        low = build_dataset("Set 1", n_pairs=400, seed=3)
+        high = build_dataset("Set 4", n_pairs=400, seed=3)
+        threshold = 5
+        low_similar = sum(
+            1 for r, s in zip(low.reads, low.segments)
+            if UNKNOWN_BASE not in r and UNKNOWN_BASE not in s and edit_distance(r, s) <= threshold
+        )
+        high_similar = sum(
+            1 for r, s in zip(high.reads, high.segments)
+            if UNKNOWN_BASE not in r and UNKNOWN_BASE not in s and edit_distance(r, s) <= threshold
+        )
+        assert low_similar > high_similar
+
+    def test_bwamem_profile_mostly_similar(self):
+        dataset = generate_pair_dataset(200, bwamem_like_profile(100), seed=5)
+        similar = sum(
+            1 for r, s in zip(dataset.reads, dataset.segments)
+            if UNKNOWN_BASE not in r and UNKNOWN_BASE not in s and edit_distance(r, s) <= 10
+        )
+        assert similar > 100
+
+    def test_minimap2_profile_mostly_divergent(self):
+        dataset = generate_pair_dataset(200, minimap2_like_profile(100), seed=6)
+        divergent = sum(
+            1 for r, s in zip(dataset.reads, dataset.segments)
+            if edit_distance(r, s) > 10
+        )
+        assert divergent > 100
+
+    def test_registry_contains_paper_sets(self):
+        for name in ("Set 1", "Set 3", "Set 4", "Set 9", "Set 12", "Minimap2", "BWA-MEM"):
+            assert name in PAPER_DATASETS
+
+    def test_build_dataset_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_dataset("Set 99")
+
+    def test_build_dataset_deterministic(self):
+        a = build_dataset("Set 3", n_pairs=30, seed=9)
+        b = build_dataset("Set 3", n_pairs=30, seed=9)
+        assert a.reads == b.reads and a.segments == b.segments
+
+    def test_dataset_length_mismatch_raises(self):
+        from repro.simulate.pairs import PairDataset
+
+        with pytest.raises(ValueError):
+            PairDataset(name="bad", reads=["ACGT"], segments=[], read_length=4)
