@@ -1,4 +1,44 @@
-"""Setuptools shim so editable installs work offline (no wheel package available)."""
-from setuptools import setup
+"""Package metadata and console entry points (kept in setup.py so editable
+installs work offline without a wheel of the build backend)."""
 
-setup()
+import os
+
+from setuptools import find_packages, setup
+
+_here = os.path.dirname(os.path.abspath(__file__))
+_readme = os.path.join(_here, "README.md")
+with open(_readme) as fh:
+    _long_description = fh.read()
+
+setup(
+    name="repro-gatekeeper-gpu",
+    version="1.1.0",
+    description=(
+        "From-scratch Python reproduction of GateKeeper-GPU: fast and "
+        "accurate pre-alignment filtering in short read mapping"
+    ),
+    long_description=_long_description,
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-filter=repro.cli:filter_main",
+            "repro-map=repro.cli:map_main",
+            "repro-experiment=repro.cli:experiment_main",
+        ]
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering :: Bio-Informatics",
+    ],
+)

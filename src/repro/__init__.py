@@ -9,17 +9,41 @@ most of its expensive dynamic-programming verifications.
 Package map
 -----------
 ``repro.genomics``  DNA alphabet, 2-bit encoding, sequence IO, reference genome.
-``repro.filters``   GateKeeper, GateKeeper-GPU, SHD, MAGNET, Shouji, SneakySnake.
+``repro.filters``   GateKeeper, GateKeeper-GPU, SHD, MAGNET, Shouji, SneakySnake
+                    (scalar paths plus the vectorised batch protocol).
+``repro.engine``    Unified filtering API: string-keyed registry
+                    (:func:`get_filter` / :func:`available_filters`),
+                    :class:`FilterEngine` (any filter, batched + device-split +
+                    timing-modelled) and :class:`FilterCascade`.
 ``repro.align``     Exact edit distance (Edlib-equivalent), NW, SW, verification.
 ``repro.simulate``  Synthetic genomes, Mason-like reads, candidate-pair pools.
 ``repro.gpusim``    Simulated GPU: devices, unified memory, occupancy, timing, power.
-``repro.core``      The GateKeeper-GPU pipeline and public :class:`GateKeeperGPU` API.
-``repro.mapper``    mrFAST-like seed-and-extend mapper with filter integration.
+``repro.core``      The GateKeeper-GPU system pipeline (config, buffers, word-array
+                    kernel) and the :class:`GateKeeperGPU` façade.
+``repro.mapper``    mrFAST-like seed-and-extend mapper with pluggable filtering.
 ``repro.analysis``  Accuracy/throughput/speedup metrics and experiment drivers.
+
+Quickstart
+----------
+>>> from repro import FilterEngine, FilterCascade, available_filters
+>>> available_filters()
+['gatekeeper-gpu', 'gatekeeper', 'shd', 'magnet', 'shouji', 'sneakysnake']
+>>> engine = FilterEngine("shouji", read_length=100, error_threshold=5)
+>>> result = engine.filter_lists(reads, segments)          # doctest: +SKIP
+>>> cascade = FilterCascade.from_names(
+...     ["gatekeeper-gpu", "sneakysnake"], read_length=100, error_threshold=5
+... )
 """
 
 from .core.config import EncodingActor
 from .core.filter import GateKeeperGPU
+from .engine import (
+    FilterCascade,
+    FilterEngine,
+    available_filters,
+    get_filter,
+    register_filter,
+)
 from .filters import (
     GateKeeperFilter,
     GateKeeperGPUFilter,
@@ -29,11 +53,16 @@ from .filters import (
     SneakySnakeFilter,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EncodingActor",
     "GateKeeperGPU",
+    "FilterCascade",
+    "FilterEngine",
+    "available_filters",
+    "get_filter",
+    "register_filter",
     "GateKeeperFilter",
     "GateKeeperGPUFilter",
     "MagnetFilter",

@@ -3,8 +3,9 @@
 Three commands are installed with the package:
 
 ``repro-filter``
-    Filter a candidate-pair pool (synthetic or from TSV) with GateKeeper-GPU
-    and report the reduction and timing.
+    Filter a candidate-pair pool with any registered pre-alignment filter
+    (``--filter``) or a multi-stage cascade (``--cascade``), and report the
+    reduction and timing.
 ``repro-map``
     Run the mrFAST-like mapper over a simulated read set with or without the
     pre-alignment filter.
@@ -20,7 +21,7 @@ from typing import Sequence
 
 from .analysis import experiments, format_table
 from .core.config import EncodingActor
-from .core.filter import GateKeeperGPU
+from .engine import FilterCascade, FilterEngine, available_filters
 from .gpusim.device import SETUP_1, SETUP_2
 from .simulate.datasets import DEFAULT_N_PAIRS, PAPER_DATASETS, build_dataset
 
@@ -35,26 +36,56 @@ def _setup(name: str):
 # repro-filter
 # --------------------------------------------------------------------------- #
 def filter_main(argv: Sequence[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description="GateKeeper-GPU pre-alignment filtering")
+    parser = argparse.ArgumentParser(
+        description="Pre-alignment filtering with any registered filter or cascade"
+    )
     parser.add_argument("--dataset", default="Set 1", choices=sorted(PAPER_DATASETS))
     parser.add_argument("--pairs", type=int, default=DEFAULT_N_PAIRS)
     parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument(
+        "--filter",
+        default="gatekeeper-gpu",
+        choices=available_filters(),
+        help="pre-alignment filter to run (default: gatekeeper-gpu)",
+    )
+    parser.add_argument(
+        "--cascade",
+        default=None,
+        metavar="A,B[,C...]",
+        help="comma-separated filter names run as a cascade "
+        "(cheapest first; overrides --filter)",
+    )
     parser.add_argument("--encoding", choices=["host", "device"], default="device")
     parser.add_argument("--setup", choices=["setup1", "setup2"], default="setup1")
     parser.add_argument("--devices", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    if args.pairs < 1:
+        parser.error("--pairs must be at least 1")
 
     dataset = build_dataset(args.dataset, n_pairs=args.pairs, seed=args.seed)
-    gatekeeper = GateKeeperGPU(
+    engine_kwargs = dict(
         read_length=dataset.read_length,
         error_threshold=args.error_threshold,
         setup=_setup(args.setup),
         n_devices=args.devices,
         encoding=EncodingActor(args.encoding),
     )
-    result = gatekeeper.filter_dataset(dataset)
-    print(format_table([result.summary()], title=f"GateKeeper-GPU on {dataset.name}"))
+    if args.cascade:
+        names = [name.strip() for name in args.cascade.split(",") if name.strip()]
+        if len(names) < 2:
+            parser.error("--cascade needs at least two comma-separated filter names")
+        try:
+            engine = FilterCascade.from_names(names, **engine_kwargs)
+        except KeyError as exc:
+            parser.error(f"--cascade: {exc.args[0]}")
+    else:
+        engine = FilterEngine(args.filter, **engine_kwargs)
+    result = engine.filter_dataset(dataset)
+    print(format_table([result.summary()], title=f"{engine.name} on {dataset.name}"))
+    if args.cascade:
+        print()
+        print(format_table(result.stage_summaries(), title="Per-stage accounting"))
     return 0
 
 
@@ -67,6 +98,12 @@ def map_main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--read-length", type=int, default=100)
     parser.add_argument("--genome-length", type=int, default=50_000)
     parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument(
+        "--filter",
+        default="gatekeeper-gpu",
+        choices=available_filters(),
+        help="pre-alignment filter used by the mapper (default: gatekeeper-gpu)",
+    )
     parser.add_argument("--no-filter", action="store_true", help="disable pre-alignment filtering")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -77,6 +114,7 @@ def map_main(argv: Sequence[str] | None = None) -> int:
         genome_length=args.genome_length,
         error_threshold=args.error_threshold,
         seed=args.seed,
+        filter_name=args.filter,
     )
     rows = experiments.whole_genome_mapping_rows(run)
     if args.no_filter:

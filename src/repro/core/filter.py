@@ -1,10 +1,13 @@
 """Public GateKeeper-GPU filter API (single- and multi-GPU execution).
 
-:class:`GateKeeperGPU` ties the whole pipeline together: system configuration,
-buffer allocation with memory advice and prefetching, preprocessing (host or
-device encoding), the word-array kernel, multi-GPU dispatch and timing.  It is
-the object downstream users (and the mrFAST integration in
-:mod:`repro.mapper`) interact with.
+:class:`GateKeeperGPU` is the paper's flagship configuration — the
+GateKeeper-GPU algorithm run through the batched, device-split,
+timing-modelled pipeline.  Since the :mod:`repro.engine` redesign it is a thin
+configured façade over :class:`repro.engine.FilterEngine` (which can run *any*
+registered filter the same way); the constructor and the
+``filter_lists / filter_pairs / filter_dataset`` signatures are unchanged, so
+downstream users (and the mrFAST integration in :mod:`repro.mapper`) keep
+working as before.
 
 Example
 -------
@@ -16,26 +19,18 @@ Example
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
-import numpy as np
-
-from ..filters.masks import EdgePolicy
-from ..genomics.sequence import SequencePair
-from ..gpusim.device import DeviceSpec, GTX_1080_TI, SystemSetup
-from ..gpusim.multi_gpu import split_evenly
-from ..gpusim.timing import TimingModel
-from .buffers import FiltrationBuffers
-from .config import EncodingActor, SystemConfiguration
-from .kernel import device_encode, run_gatekeeper_kernel
-from .preprocess import prepare_batches
-from .results import FilterRunResult
+from ..engine.engine import FilterEngine
+from ..filters.gatekeeper import GateKeeperFilter
+from ..filters.gatekeeper_gpu import GateKeeperGPUFilter
+from ..gpusim.device import DeviceSpec, SystemSetup
+from .config import EncodingActor
 
 __all__ = ["GateKeeperGPU"]
 
 
-class GateKeeperGPU:
+class GateKeeperGPU(FilterEngine):
     """Fast and accurate pre-alignment filtering on a (simulated) GPU.
 
     Parameters
@@ -67,128 +62,19 @@ class GateKeeperGPU:
         max_reads_per_batch: int = 100_000,
         legacy_edge_policy: bool = False,
     ):
-        if setup is not None and devices is not None:
-            raise ValueError("pass either devices or setup, not both")
-        if setup is not None:
-            device_list = setup.devices(n_devices)
-            host = setup.host
-        else:
-            device_list = list(devices) if devices else [GTX_1080_TI] * n_devices
-            host = None
-        self.config = SystemConfiguration(
+        filter_cls = GateKeeperFilter if legacy_edge_policy else GateKeeperGPUFilter
+        super().__init__(
+            filter_cls(error_threshold),
             read_length=read_length,
             error_threshold=error_threshold,
-            devices=device_list,
+            devices=devices,
+            setup=setup,
+            n_devices=n_devices,
             encoding=encoding,
             max_reads_per_batch=max_reads_per_batch,
         )
-        self.edge_policy = EdgePolicy.ZERO if legacy_edge_policy else EdgePolicy.ONE
-        if host is not None:
-            self.timing_model = TimingModel(self.config.primary_device, host)
-        else:
-            self.timing_model = TimingModel(self.config.primary_device)
-
-    # ------------------------------------------------------------------ #
-    # Introspection helpers
-    # ------------------------------------------------------------------ #
-    @property
-    def n_devices(self) -> int:
-        return self.config.n_devices
 
     @property
-    def encoding(self) -> EncodingActor:
-        return self.config.encoding
-
-    def allocate_buffers(self, batch_pairs: int) -> list[FiltrationBuffers]:
-        """Allocate per-device unified-memory buffers for a batch (bookkeeping)."""
-        buffers = []
-        for device in self.config.devices:
-            buf = FiltrationBuffers(device, self.config, batch_pairs)
-            buf.apply_memory_advice()
-            buf.prefetch_inputs()
-            buffers.append(buf)
-        return buffers
-
-    # ------------------------------------------------------------------ #
-    # Filtering
-    # ------------------------------------------------------------------ #
-    def filter_lists(
-        self, reads: Sequence[str], segments: Sequence[str]
-    ) -> FilterRunResult:
-        """Filter parallel lists of reads and candidate reference segments."""
-        if len(reads) != len(segments):
-            raise ValueError("reads and segments must have the same length")
-        n = len(reads)
-        if n == 0:
-            raise ValueError("cannot filter an empty work list")
-
-        accepted = np.zeros(n, dtype=bool)
-        estimates = np.zeros(n, dtype=np.int32)
-        undefined = np.zeros(n, dtype=bool)
-
-        wall_start = time.perf_counter()
-        n_batches = 0
-        # Device shares: pairs are split evenly across devices; within each
-        # share the pipeline batches by the configured batch size.
-        shares = split_evenly(n, self.config.n_devices)
-        for share in shares:
-            share_reads = reads[share]
-            share_segments = segments[share]
-            if len(share_reads) == 0:
-                continue
-            for batch in prepare_batches(share_reads, share_segments, self.config):
-                if batch.host_encoded:
-                    read_words, ref_words = batch.read_words, batch.ref_words
-                else:
-                    read_words = device_encode(batch.read_codes)
-                    ref_words = device_encode(batch.ref_codes)
-                output = run_gatekeeper_kernel(
-                    read_words,
-                    ref_words,
-                    length=self.config.read_length,
-                    error_threshold=self.config.error_threshold,
-                    edge_policy=self.edge_policy,
-                    undefined=batch.undefined,
-                )
-                lo = share.start + batch.start
-                hi = lo + batch.n_pairs
-                accepted[lo:hi] = output.accepted
-                estimates[lo:hi] = output.estimated_edits
-                undefined[lo:hi] = output.undefined
-                n_batches += 1
-        wall_clock = time.perf_counter() - wall_start
-
-        timing = self.timing_model.filter_timing(
-            n,
-            self.config.read_length,
-            self.config.error_threshold,
-            encode_on_device=self.config.encoding is EncodingActor.DEVICE,
-            n_devices=self.config.n_devices,
-            host_encode_threads=1,
-        )
-        return FilterRunResult(
-            accepted=accepted,
-            estimated_edits=estimates,
-            undefined=undefined,
-            kernel_time_s=timing.kernel_s,
-            filter_time_s=timing.filter_s,
-            wall_clock_s=wall_clock,
-            timing=timing,
-            n_batches=n_batches,
-            metadata={
-                "edge_policy": self.edge_policy,
-                "encoding": self.config.encoding.value,
-                "n_devices": self.config.n_devices,
-                "device": self.config.primary_device.name,
-            },
-        )
-
-    def filter_pairs(self, pairs: Sequence[SequencePair]) -> FilterRunResult:
-        """Filter a sequence of :class:`SequencePair` objects."""
-        reads = [p.read for p in pairs]
-        segments = [p.reference_segment for p in pairs]
-        return self.filter_lists(reads, segments)
-
-    def filter_dataset(self, dataset) -> FilterRunResult:
-        """Filter a :class:`repro.simulate.PairDataset`."""
-        return self.filter_lists(dataset.reads, dataset.segments)
+    def edge_policy(self) -> str:
+        """Edge handling of the underlying GateKeeper-family filter."""
+        return self.filter.edge_policy

@@ -4,6 +4,14 @@ This is the standalone driver used by the experiments that do not need the
 full mapper: it runs a candidate-pair pool through a pre-alignment filter,
 verifies the surviving pairs with the exact verifier, and accounts for how
 much verification work the filter saved (the quantity behind Tables 3-5).
+
+Any filtering engine works: :class:`repro.core.GateKeeperGPU`, a
+:class:`repro.engine.FilterEngine` wrapping one of the six registered
+algorithms, a :class:`repro.engine.FilterCascade`, a bare
+:class:`repro.filters.PreAlignmentFilter` instance, or just a registry name
+(``FilteringPipeline("shouji", error_threshold=5)``).  Bare filters and names
+are wrapped in a :class:`~repro.engine.FilterEngine` lazily, when the first
+dataset fixes the read length.
 """
 
 from __future__ import annotations
@@ -14,10 +22,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..align.verification import Verifier
+from ..filters.base import PreAlignmentFilter
 from ..gpusim.timing import FilterTiming
 from ..simulate.pairs import PairDataset
-from .config import EncodingActor
-from .filter import GateKeeperGPU
 from .results import FilterRunResult
 
 __all__ = ["PipelineReport", "FilteringPipeline"]
@@ -93,17 +100,74 @@ class PipelineReport:
 
 
 class FilteringPipeline:
-    """Filter a candidate-pair pool and verify the survivors."""
+    """Filter a candidate-pair pool and verify the survivors.
+
+    Parameters
+    ----------
+    engine:
+        Anything that filters: an engine/cascade (has ``filter_dataset``), a
+        :class:`PreAlignmentFilter` instance, or a registry name string.
+    verifier:
+        Exact verifier for the surviving pairs; defaults to a
+        :class:`~repro.align.verification.Verifier` at the engine's threshold.
+    error_threshold:
+        Required when ``engine`` is a name string (instances and engines carry
+        their own threshold).
+    """
 
     def __init__(
         self,
-        gatekeeper: GateKeeperGPU,
+        engine,
         verifier: Verifier | None = None,
         verification_cost_per_pair_s: float = VERIFICATION_COST_PER_PAIR_S,
+        error_threshold: int | None = None,
     ):
-        self.gatekeeper = gatekeeper
-        self.verifier = verifier or Verifier(gatekeeper.config.error_threshold)
+        self.engine = engine
+        threshold = getattr(engine, "error_threshold", None)
+        if threshold is None:
+            threshold = error_threshold
+        if threshold is None:
+            raise ValueError(
+                "error_threshold is required when the engine does not carry one"
+            )
+        if error_threshold is not None and int(error_threshold) != int(threshold):
+            raise ValueError(
+                f"engine error_threshold ({threshold}) disagrees with the "
+                f"explicit error_threshold ({error_threshold})"
+            )
+        self.error_threshold = int(threshold)
+        self.verifier = verifier or Verifier(self.error_threshold)
         self.verification_cost_per_pair_s = verification_cost_per_pair_s
+        self._lazy_spec = None
+        if not hasattr(engine, "filter_dataset"):
+            if not isinstance(engine, (str, PreAlignmentFilter, type)):
+                raise TypeError(f"cannot filter with {engine!r}")
+            self._lazy_spec = engine
+            self.engine = None
+
+    # Backwards-compatible alias from the GateKeeper-only era.
+    @property
+    def gatekeeper(self):
+        return self.engine
+
+    def _engine_for(self, dataset: PairDataset):
+        """Wrap bare filters / names in a FilterEngine sized to ``dataset``.
+
+        A lazily-wrapped engine is rebuilt whenever a dataset with a
+        different read length arrives; explicitly-passed engines keep their
+        configured length (and the engine itself rejects mismatched input).
+        """
+        if self._lazy_spec is None:
+            return self.engine
+        if self.engine is None or self.engine.read_length != dataset.read_length:
+            from ..engine.engine import FilterEngine
+
+            self.engine = FilterEngine(
+                self._lazy_spec,
+                read_length=dataset.read_length,
+                error_threshold=self.error_threshold,
+            )
+        return self.engine
 
     def run(self, dataset: PairDataset, verify: bool = True) -> PipelineReport:
         """Run the pipeline over ``dataset``.
@@ -112,7 +176,7 @@ class FilteringPipeline:
         throughput-only runs); the verification *time* is still modelled from
         the per-pair cost so the speedup accounting stays available.
         """
-        filter_result = self.gatekeeper.filter_dataset(dataset)
+        filter_result = self._engine_for(dataset).filter_dataset(dataset)
         surviving = filter_result.accepted_indices()
 
         verified_accepts = 0
@@ -140,7 +204,7 @@ class FilteringPipeline:
 
         return PipelineReport(
             dataset_name=dataset.name,
-            error_threshold=self.gatekeeper.config.error_threshold,
+            error_threshold=self.error_threshold,
             filter_result=filter_result,
             verified_accepts=verified_accepts,
             verified_rejects=verified_rejects,

@@ -1,0 +1,38 @@
+"""Unified filtering engine: registry, vectorized execution, cascades.
+
+This package is the single entry point for running *any* of the six
+pre-alignment filters (GateKeeper, GateKeeper-GPU, SHD, MAGNET, Shouji,
+SneakySnake) through the batched, device-split, timing-modelled pipeline that
+used to be exclusive to ``GateKeeperGPU``:
+
+>>> from repro.engine import FilterEngine, FilterCascade, available_filters
+>>> available_filters()
+['gatekeeper-gpu', 'gatekeeper', 'shd', 'magnet', 'shouji', 'sneakysnake']
+>>> engine = FilterEngine("shouji", read_length=100, error_threshold=5)
+>>> result = engine.filter_lists(reads, segments)          # doctest: +SKIP
+>>> cascade = FilterCascade.from_names(
+...     ["gatekeeper-gpu", "sneakysnake"], read_length=100, error_threshold=5
+... )
+"""
+
+from .cascade import CascadeRunResult, CascadeStageAccount, FilterCascade
+from .engine import FilterEngine
+from .registry import (
+    available_filters,
+    get_filter,
+    get_filter_class,
+    register_filter,
+    resolve_filter,
+)
+
+__all__ = [
+    "CascadeRunResult",
+    "CascadeStageAccount",
+    "FilterCascade",
+    "FilterEngine",
+    "available_filters",
+    "get_filter",
+    "get_filter_class",
+    "register_filter",
+    "resolve_filter",
+]

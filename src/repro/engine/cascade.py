@@ -1,0 +1,222 @@
+"""Cascaded filtering: a cheap filter first, survivors re-filtered.
+
+The paper positions GateKeeper-GPU as the fastest-but-loosest point of the
+accuracy/throughput trade-off and SneakySnake/MAGNET as the most accurate; a
+natural system design (``examples/filter_cascade.py``) chains them — the
+cheap batched stage removes the bulk of the junk candidates and the more
+accurate stage re-examines only the survivors before verification.
+:class:`FilterCascade` packages that pattern behind the same
+``filter_lists / filter_pairs / filter_dataset`` protocol as
+:class:`~repro.engine.engine.FilterEngine`, so a cascade drops into the
+pipeline, the mapper and the CLI like a single filter.
+
+Each stage only sees the pairs every earlier stage accepted.  Undefined
+(``N``-containing) pairs take a direct pass through every stage, so the
+cascade preserves the no-false-reject contract of its stages.  The combined
+:class:`CascadeRunResult` keeps per-stage accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import EncodingActor
+from ..core.results import FilterRunResult
+from ..gpusim.timing import FilterTiming
+from .engine import FilterEngine
+
+__all__ = ["CascadeStageAccount", "CascadeRunResult", "FilterCascade"]
+
+
+@dataclass(frozen=True)
+class CascadeStageAccount:
+    """What one stage of a cascade did."""
+
+    stage: int
+    filter_name: str
+    n_input: int
+    n_accepted: int
+    n_rejected: int
+    kernel_time_s: float
+    filter_time_s: float
+    wall_clock_s: float
+
+    def summary(self) -> dict:
+        return {
+            "stage": self.stage,
+            "filter": self.filter_name,
+            "n_input": self.n_input,
+            "n_accepted": self.n_accepted,
+            "n_rejected": self.n_rejected,
+            "kernel_time_s": self.kernel_time_s,
+            "filter_time_s": self.filter_time_s,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+
+@dataclass
+class CascadeRunResult(FilterRunResult):
+    """A :class:`FilterRunResult` plus per-stage accounting."""
+
+    stage_accounts: list[CascadeStageAccount] = field(default_factory=list)
+
+    def stage_summaries(self) -> list[dict]:
+        return [account.summary() for account in self.stage_accounts]
+
+
+class FilterCascade:
+    """Run several :class:`FilterEngine` stages as one composite filter.
+
+    Parameters
+    ----------
+    stages:
+        Engines in execution order (cheapest first).  All stages must share
+        one error threshold — a cascade with mixed thresholds would not have a
+        single well-defined accept contract for the verifier that follows it.
+    """
+
+    def __init__(self, stages: Sequence[FilterEngine]):
+        stages = list(stages)
+        if not stages:
+            raise ValueError("a cascade needs at least one stage")
+        thresholds = {stage.error_threshold for stage in stages}
+        if len(thresholds) != 1:
+            raise ValueError(f"cascade stages disagree on error_threshold: {sorted(thresholds)}")
+        lengths = {stage.read_length for stage in stages}
+        if len(lengths) != 1:
+            raise ValueError(f"cascade stages disagree on read_length: {sorted(lengths)}")
+        self.stages = stages
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        read_length: int,
+        error_threshold: int,
+        **engine_kwargs,
+    ) -> "FilterCascade":
+        """Build a cascade from registry names, e.g. ``["gatekeeper-gpu", "sneakysnake"]``."""
+        return cls(
+            [
+                FilterEngine(name, read_length, error_threshold, **engine_kwargs)
+                for name in names
+            ]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return " -> ".join(stage.name for stage in self.stages)
+
+    @property
+    def error_threshold(self) -> int:
+        return self.stages[0].error_threshold
+
+    @property
+    def read_length(self) -> int:
+        return self.stages[0].read_length
+
+    @property
+    def n_devices(self) -> int:
+        return self.stages[0].n_devices
+
+    @property
+    def encoding(self) -> EncodingActor:
+        return self.stages[0].encoding
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+    def filter_lists(
+        self, reads: Sequence[str], segments: Sequence[str]
+    ) -> CascadeRunResult:
+        """Filter parallel lists through every stage, survivors only."""
+        if len(reads) != len(segments):
+            raise ValueError("reads and segments must have the same length")
+        n = len(reads)
+        if n == 0:
+            raise ValueError("cannot filter an empty work list")
+        reads = list(reads)
+        segments = list(segments)
+
+        accepted = np.zeros(n, dtype=bool)
+        estimates = np.zeros(n, dtype=np.int32)
+        undefined = np.zeros(n, dtype=bool)
+        accounts: list[CascadeStageAccount] = []
+        encode = prep = transfer = kernel = 0.0
+        n_batches = 0
+
+        wall_start = time.perf_counter()
+        alive = np.arange(n)
+        for stage_index, stage in enumerate(self.stages):
+            stage_start = time.perf_counter()
+            result = stage.filter_lists(
+                [reads[i] for i in alive], [segments[i] for i in alive]
+            )
+            stage_wall = time.perf_counter() - stage_start
+            # The estimate a pair reports is the one from the last stage that
+            # examined it (the stage that rejected it, or the final stage).
+            estimates[alive] = result.estimated_edits
+            undefined[alive] |= result.undefined
+            accounts.append(
+                CascadeStageAccount(
+                    stage=stage_index,
+                    filter_name=stage.name,
+                    n_input=int(len(alive)),
+                    n_accepted=result.n_accepted,
+                    n_rejected=result.n_rejected,
+                    kernel_time_s=result.kernel_time_s,
+                    filter_time_s=result.filter_time_s,
+                    wall_clock_s=stage_wall,
+                )
+            )
+            encode += result.timing.encode_s
+            prep += result.timing.host_prep_s
+            transfer += result.timing.transfer_s
+            kernel += result.timing.kernel_s
+            n_batches += result.n_batches
+            alive = alive[result.accepted_indices()]
+            if len(alive) == 0:
+                break
+        accepted[alive] = True
+        wall_clock = time.perf_counter() - wall_start
+
+        timing = FilterTiming(
+            encode_s=encode, host_prep_s=prep, transfer_s=transfer, kernel_s=kernel
+        )
+        return CascadeRunResult(
+            accepted=accepted,
+            estimated_edits=estimates,
+            undefined=undefined,
+            kernel_time_s=timing.kernel_s,
+            filter_time_s=timing.filter_s,
+            wall_clock_s=wall_clock,
+            timing=timing,
+            n_batches=n_batches,
+            metadata={
+                "filter": self.name,
+                "stages": [stage.name for stage in self.stages],
+                "n_devices": self.n_devices,
+                "encoding": self.encoding.value,
+            },
+            stage_accounts=accounts,
+        )
+
+    def filter_pairs(self, pairs: Sequence) -> CascadeRunResult:
+        """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
+        reads = [p.read for p in pairs]
+        segments = [p.reference_segment for p in pairs]
+        return self.filter_lists(reads, segments)
+
+    def filter_dataset(self, dataset) -> CascadeRunResult:
+        """Filter a :class:`repro.simulate.PairDataset`."""
+        return self.filter_lists(dataset.reads, dataset.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FilterCascade({self.name!r}, error_threshold={self.error_threshold})"

@@ -1,0 +1,251 @@
+"""The unified filtering engine: any registered filter, one vectorized pipeline.
+
+:class:`FilterEngine` generalises what used to be hardwired into
+``GateKeeperGPU.filter_lists``: splitting the work list across the configured
+(simulated) devices, batching each share by the launch configuration,
+encoding pairs into 2-bit code/word arrays, flagging ``N``-containing pairs
+undefined, running the filter's vectorised batch kernel, and reporting the
+analytic timing model's decomposition.  Any filter resolvable by the
+:mod:`repro.engine.registry` — or any :class:`PreAlignmentFilter` instance —
+can be dropped in; :class:`repro.core.GateKeeperGPU` is now a thin configured
+façade over this class.
+
+Filters of the GateKeeper family (``word_kernel_compatible``) run through the
+packed word-array kernel of :mod:`repro.core.kernel`, which mirrors the CUDA
+implementation's arithmetic and keeps the host/device encoding-actor
+distinction meaningful; all other filters run their own
+``estimate_edits_batch`` over the per-base code arrays.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Type
+
+import numpy as np
+
+from ..core.config import EncodingActor, SystemConfiguration
+from ..core.buffers import FiltrationBuffers
+from ..core.kernel import device_encode, run_gatekeeper_kernel
+from ..core.preprocess import prepare_batches
+from ..core.results import FilterRunResult
+from ..filters.base import PreAlignmentFilter
+from ..gpusim.device import DeviceSpec, GTX_1080_TI, SystemSetup
+from ..gpusim.multi_gpu import split_evenly
+from ..gpusim.timing import TimingModel
+from .registry import resolve_filter
+
+__all__ = ["FilterEngine"]
+
+
+class FilterEngine:
+    """Batched, device-split, timing-modelled execution of any filter.
+
+    Parameters
+    ----------
+    filter_spec:
+        A registry name (``"shouji"``), a :class:`PreAlignmentFilter` subclass,
+        or an instance.  Instances must agree with ``error_threshold``.
+    read_length:
+        Length of the reads / candidate segments (a compile-time constant of
+        the CUDA implementation).
+    error_threshold:
+        Maximum number of edits for a pair to be accepted.
+    devices / setup / n_devices:
+        Device list or one of the paper's setups; identical devices are
+        assumed (as in the paper's experiments).
+    encoding:
+        :class:`EncodingActor` — whether the host or the device encodes.
+    max_reads_per_batch:
+        Cap on pairs per kernel call (Table 1 parameter).
+    filter_kwargs:
+        Extra constructor arguments for name/class specs (e.g. ``window=4``
+        for Shouji).
+    """
+
+    def __init__(
+        self,
+        filter_spec: "str | PreAlignmentFilter | Type[PreAlignmentFilter]",
+        read_length: int,
+        error_threshold: int,
+        devices: Sequence[DeviceSpec] | None = None,
+        setup: SystemSetup | None = None,
+        n_devices: int = 1,
+        encoding: EncodingActor = EncodingActor.DEVICE,
+        max_reads_per_batch: int = 100_000,
+        **filter_kwargs,
+    ):
+        if setup is not None and devices is not None:
+            raise ValueError("pass either devices or setup, not both")
+        if setup is not None:
+            device_list = setup.devices(n_devices)
+            host = setup.host
+        else:
+            device_list = list(devices) if devices else [GTX_1080_TI] * n_devices
+            host = None
+        self.filter = resolve_filter(filter_spec, error_threshold, **filter_kwargs)
+        self.config = SystemConfiguration(
+            read_length=read_length,
+            error_threshold=int(error_threshold),
+            devices=device_list,
+            encoding=encoding,
+            max_reads_per_batch=max_reads_per_batch,
+        )
+        if host is not None:
+            self.timing_model = TimingModel(self.config.primary_device, host)
+        else:
+            self.timing_model = TimingModel(self.config.primary_device)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self.filter.name
+
+    @property
+    def error_threshold(self) -> int:
+        return self.config.error_threshold
+
+    @property
+    def read_length(self) -> int:
+        return self.config.read_length
+
+    @property
+    def n_devices(self) -> int:
+        return self.config.n_devices
+
+    @property
+    def encoding(self) -> EncodingActor:
+        return self.config.encoding
+
+    @property
+    def uses_word_kernel(self) -> bool:
+        """True when the filter runs through the packed word-array kernel."""
+        return bool(getattr(self.filter, "word_kernel_compatible", False))
+
+    def allocate_buffers(self, batch_pairs: int) -> list[FiltrationBuffers]:
+        """Allocate per-device unified-memory buffers for a batch (bookkeeping)."""
+        buffers = []
+        for device in self.config.devices:
+            buf = FiltrationBuffers(device, self.config, batch_pairs)
+            buf.apply_memory_advice()
+            buf.prefetch_inputs()
+            buffers.append(buf)
+        return buffers
+
+    # ------------------------------------------------------------------ #
+    # Filtering
+    # ------------------------------------------------------------------ #
+    def _run_batch(self, batch) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(estimates, accepted, undefined) of one :class:`PreparedBatch`."""
+        e = self.config.error_threshold
+        if self.uses_word_kernel:
+            if batch.host_encoded:
+                read_words, ref_words = batch.read_words, batch.ref_words
+            else:
+                read_words = device_encode(batch.read_codes)
+                ref_words = device_encode(batch.ref_codes)
+            output = run_gatekeeper_kernel(
+                read_words,
+                ref_words,
+                length=self.config.read_length,
+                error_threshold=e,
+                edge_policy=self.filter.edge_policy,
+                count_window=getattr(self.filter, "count_window", 4),
+                max_zero_run=getattr(self.filter, "max_zero_run", 2),
+                undefined=batch.undefined,
+            )
+            return output.estimated_edits, output.accepted, output.undefined
+        undefined = np.asarray(batch.undefined, dtype=bool)
+        estimates = np.asarray(
+            self.filter.estimate_edits_batch(batch.read_codes, batch.ref_codes),
+            dtype=np.int32,
+        )
+        # Undefined pairs bypass filtration with a direct pass (paper design).
+        estimates = np.where(undefined, 0, estimates).astype(np.int32)
+        accepted = undefined | (estimates <= e)
+        return estimates, accepted, undefined
+
+    def filter_lists(
+        self, reads: Sequence[str], segments: Sequence[str]
+    ) -> FilterRunResult:
+        """Filter parallel lists of reads and candidate reference segments."""
+        if len(reads) != len(segments):
+            raise ValueError("reads and segments must have the same length")
+        n = len(reads)
+        if n == 0:
+            raise ValueError("cannot filter an empty work list")
+        if len(reads[0]) != self.config.read_length:
+            # The read length is a compile-time constant of the simulated
+            # kernel; silently filtering at the wrong length would truncate
+            # or pad every comparison.
+            raise ValueError(
+                f"engine is configured for read_length={self.config.read_length} "
+                f"but received {len(reads[0])} bp sequences"
+            )
+
+        accepted = np.zeros(n, dtype=bool)
+        estimates = np.zeros(n, dtype=np.int32)
+        undefined = np.zeros(n, dtype=bool)
+
+        wall_start = time.perf_counter()
+        n_batches = 0
+        # Device shares: pairs are split evenly across devices; within each
+        # share the pipeline batches by the configured batch size.
+        for share in split_evenly(n, self.config.n_devices):
+            share_reads = reads[share]
+            share_segments = segments[share]
+            if len(share_reads) == 0:
+                continue
+            for batch in prepare_batches(share_reads, share_segments, self.config):
+                batch_estimates, batch_accepted, batch_undefined = self._run_batch(batch)
+                lo = share.start + batch.start
+                hi = lo + batch.n_pairs
+                accepted[lo:hi] = batch_accepted
+                estimates[lo:hi] = batch_estimates
+                undefined[lo:hi] = batch_undefined
+                n_batches += 1
+        wall_clock = time.perf_counter() - wall_start
+
+        timing = self.timing_model.filter_timing(
+            n,
+            self.config.read_length,
+            self.config.error_threshold,
+            encode_on_device=self.config.encoding is EncodingActor.DEVICE,
+            n_devices=self.config.n_devices,
+            host_encode_threads=1,
+        )
+        return FilterRunResult(
+            accepted=accepted,
+            estimated_edits=estimates,
+            undefined=undefined,
+            kernel_time_s=timing.kernel_s,
+            filter_time_s=timing.filter_s,
+            wall_clock_s=wall_clock,
+            timing=timing,
+            n_batches=n_batches,
+            metadata={
+                "filter": self.filter.name,
+                "encoding": self.config.encoding.value,
+                "n_devices": self.config.n_devices,
+                "device": self.config.primary_device.name,
+                "edge_policy": getattr(self.filter, "edge_policy", None),
+            },
+        )
+
+    def filter_pairs(self, pairs: Sequence) -> FilterRunResult:
+        """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
+        reads = [p.read for p in pairs]
+        segments = [p.reference_segment for p in pairs]
+        return self.filter_lists(reads, segments)
+
+    def filter_dataset(self, dataset) -> FilterRunResult:
+        """Filter a :class:`repro.simulate.PairDataset`."""
+        return self.filter_lists(dataset.reads, dataset.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FilterEngine({self.filter.name!r}, read_length={self.read_length}, "
+            f"error_threshold={self.error_threshold}, n_devices={self.n_devices})"
+        )

@@ -1,0 +1,127 @@
+"""String-keyed registry of the pre-alignment filter algorithms.
+
+Every filter the paper evaluates is registered under a canonical kebab-case
+key (``"gatekeeper-gpu"``, ``"shouji"``, ...) plus forgiving aliases (display
+names, underscore variants), so the CLI, the experiment drivers, the mapper
+and :class:`repro.engine.FilterEngine` can all resolve a filter from a plain
+string.  Third-party filters can join via :func:`register_filter` and are
+immediately usable everywhere a name is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Type
+
+from ..filters.base import PreAlignmentFilter
+from ..filters.gatekeeper import GateKeeperFilter
+from ..filters.gatekeeper_gpu import GateKeeperGPUFilter
+from ..filters.magnet import MagnetFilter
+from ..filters.shd import SHDFilter
+from ..filters.shouji import ShoujiFilter
+from ..filters.sneakysnake import SneakySnakeFilter
+
+__all__ = [
+    "available_filters",
+    "get_filter",
+    "get_filter_class",
+    "register_filter",
+    "resolve_filter",
+]
+
+#: Canonical key -> filter class, in the order the paper plots the filters.
+_REGISTRY: dict[str, Type[PreAlignmentFilter]] = {}
+#: Alias (normalised) -> canonical key.
+_ALIASES: dict[str, str] = {}
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def register_filter(
+    key: str,
+    filter_class: Type[PreAlignmentFilter],
+    aliases: Iterable[str] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register ``filter_class`` under ``key`` (and optional ``aliases``).
+
+    ``key`` is normalised to kebab-case.  Registering an existing key raises
+    unless ``overwrite=True``, so accidental shadowing of the built-in
+    algorithms is loud.
+    """
+    canonical = _normalise(key)
+    if not canonical:
+        raise ValueError("filter key must be a non-empty string")
+    if not (isinstance(filter_class, type) and issubclass(filter_class, PreAlignmentFilter)):
+        raise TypeError("filter_class must be a PreAlignmentFilter subclass")
+    if canonical in _REGISTRY and not overwrite:
+        raise ValueError(f"filter {canonical!r} is already registered")
+    _REGISTRY[canonical] = filter_class
+    _ALIASES[canonical] = canonical
+    for alias in aliases:
+        _ALIASES[_normalise(alias)] = canonical
+
+
+def available_filters() -> list[str]:
+    """Canonical keys of every registered filter (paper plotting order)."""
+    return list(_REGISTRY)
+
+
+def get_filter_class(name: str) -> Type[PreAlignmentFilter]:
+    """Resolve ``name`` (canonical key or alias, case-insensitive) to a class."""
+    canonical = _ALIASES.get(_normalise(name))
+    if canonical is None:
+        known = ", ".join(available_filters())
+        raise KeyError(f"unknown filter {name!r}; available: {known}")
+    return _REGISTRY[canonical]
+
+
+def get_filter(name: str, error_threshold: int, **kwargs) -> PreAlignmentFilter:
+    """Instantiate the filter registered under ``name``.
+
+    >>> get_filter("shouji", 5).name
+    'Shouji'
+    """
+    return get_filter_class(name)(error_threshold, **kwargs)
+
+
+def resolve_filter(
+    spec: "str | PreAlignmentFilter | Type[PreAlignmentFilter]",
+    error_threshold: int,
+    **kwargs,
+) -> PreAlignmentFilter:
+    """Coerce a filter *spec* (name, class or instance) into an instance.
+
+    Instances are passed through after checking their threshold matches;
+    names and classes are instantiated at ``error_threshold``.
+    """
+    if isinstance(spec, PreAlignmentFilter):
+        if kwargs:
+            raise ValueError(
+                f"filter kwargs {sorted(kwargs)} cannot be applied to an "
+                "already-constructed filter instance; pass a name or class, "
+                "or construct the instance with them"
+            )
+        if spec.error_threshold != int(error_threshold):
+            raise ValueError(
+                f"filter instance has error_threshold={spec.error_threshold}, "
+                f"expected {error_threshold}"
+            )
+        return spec
+    if isinstance(spec, type) and issubclass(spec, PreAlignmentFilter):
+        return spec(error_threshold, **kwargs)
+    if isinstance(spec, str):
+        return get_filter(spec, error_threshold, **kwargs)
+    raise TypeError(f"cannot resolve a filter from {spec!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Built-in algorithms (paper order).
+# --------------------------------------------------------------------------- #
+register_filter("gatekeeper-gpu", GateKeeperGPUFilter, aliases=("gkgpu",))
+register_filter("gatekeeper", GateKeeperFilter, aliases=("gk",))
+register_filter("shd", SHDFilter)
+register_filter("magnet", MagnetFilter)
+register_filter("shouji", ShoujiFilter)
+register_filter("sneakysnake", SneakySnakeFilter, aliases=("snake", "sneaky-snake"))

@@ -24,10 +24,13 @@ from .gatekeeper_gpu import GateKeeperGPUFilter
 from .magnet import MagnetFilter
 from .masks import EdgePolicy, MaskSet, build_mask_set, final_bitvector
 from .shd import SHDFilter
-from .shouji import ShoujiFilter, neighborhood_map
+from .shouji import ShoujiFilter, neighborhood_map, neighborhood_map_batch
 from .sneakysnake import SneakySnakeFilter
 
-#: All comparator filters by their display name, in the order the paper plots them.
+#: All comparator filters by their display name, in the order the paper plots
+#: them.  Kept as a static display-name map for the benchmark harness; the
+#: extensible, string-keyed source of truth is :mod:`repro.engine.registry`
+#: (which cannot be imported here without a cycle).
 FILTER_REGISTRY = {
     "GateKeeper-GPU": GateKeeperGPUFilter,
     "GateKeeper": GateKeeperFilter,
@@ -66,6 +69,7 @@ __all__ = [
     "SHDFilter",
     "ShoujiFilter",
     "neighborhood_map",
+    "neighborhood_map_batch",
     "SneakySnakeFilter",
     "FILTER_REGISTRY",
 ]

@@ -21,7 +21,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..genomics.alphabet import contains_unknown
+from ..genomics.encoding import encode_to_codes
 from ..genomics.sequence import SequencePair
 
 __all__ = ["FilterDecision", "FilterResult", "PreAlignmentFilter"]
@@ -56,8 +59,12 @@ class FilterResult:
 class PreAlignmentFilter(ABC):
     """Base class for all pre-alignment filters.
 
-    Subclasses implement :meth:`estimate_edits`, the approximate edit-distance
-    computation on a pair that is already known to be defined (no ``N``).
+    Subclasses implement :meth:`estimate_edits_codes`, the approximate
+    edit-distance computation on a 2-bit-encoded pair that is already known to
+    be defined (no ``N``).  Filters that have a vectorised implementation
+    additionally override :meth:`estimate_edits_batch`; the base class provides
+    a per-pair fallback so every registered filter honours the batch protocol
+    used by :class:`repro.engine.FilterEngine`.
     """
 
     #: Human readable name used by the analysis tables.
@@ -72,8 +79,39 @@ class PreAlignmentFilter(ABC):
     # Core API
     # ------------------------------------------------------------------ #
     @abstractmethod
+    def estimate_edits_codes(
+        self, read_codes: np.ndarray, ref_codes: np.ndarray
+    ) -> int:
+        """Approximate edit distance of one pair given as per-base 2-bit codes."""
+
     def estimate_edits(self, read: str, reference_segment: str) -> int:
         """Return the filter's approximation of the pair's edit distance."""
+        return self.estimate_edits_codes(
+            encode_to_codes(read), encode_to_codes(reference_segment)
+        )
+
+    def estimate_edits_batch(
+        self, read_codes: np.ndarray, ref_codes: np.ndarray
+    ) -> np.ndarray:
+        """Approximate edit distances of a ``(n_pairs, n_bases)`` code batch.
+
+        The base implementation loops over the per-pair scalar path; filters
+        with a vectorised kernel override it.  Both paths must produce
+        identical estimates (property-tested).
+        """
+        read_codes = np.asarray(read_codes, dtype=np.uint8)
+        ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+        if read_codes.shape != ref_codes.shape:
+            raise ValueError("read and reference code arrays must have the same shape")
+        if read_codes.ndim != 2:
+            raise ValueError("batch code arrays must be 2-D (n_pairs, n_bases)")
+        return np.array(
+            [
+                self.estimate_edits_codes(read_codes[i], ref_codes[i])
+                for i in range(read_codes.shape[0])
+            ],
+            dtype=np.int32,
+        )
 
     def filter_pair(self, read: str, reference_segment: str) -> FilterResult:
         """Filter one pair, handling undefined (``N``-containing) pairs."""

@@ -11,8 +11,10 @@ fixes.
 
 from __future__ import annotations
 
-from ..genomics.encoding import encode_to_codes
+import numpy as np
+
 from .base import PreAlignmentFilter
+from .batch import estimate_edits_batch as _estimate_edits_batch
 from .bitvector import count_set_windows
 from .masks import EdgePolicy, build_mask_set
 
@@ -37,6 +39,11 @@ class GateKeeperFilter(PreAlignmentFilter):
 
     name = "GateKeeper"
     edge_policy = EdgePolicy.ZERO
+    #: The GateKeeper family shares the word-array kernel of
+    #: :mod:`repro.core.kernel`; :class:`repro.engine.FilterEngine` routes such
+    #: filters through the packed-word path (which models the CUDA kernel and
+    #: keeps the host/device encoding-actor distinction meaningful).
+    word_kernel_compatible = True
 
     def __init__(
         self,
@@ -48,9 +55,7 @@ class GateKeeperFilter(PreAlignmentFilter):
         self.count_window = int(count_window)
         self.max_zero_run = int(max_zero_run)
 
-    def estimate_edits(self, read: str, reference_segment: str) -> int:
-        read_codes = encode_to_codes(read)
-        ref_codes = encode_to_codes(reference_segment)
+    def estimate_edits_codes(self, read_codes: np.ndarray, ref_codes: np.ndarray) -> int:
         mask_set = build_mask_set(
             read_codes,
             ref_codes,
@@ -59,3 +64,16 @@ class GateKeeperFilter(PreAlignmentFilter):
             max_zero_run=self.max_zero_run,
         )
         return count_set_windows(mask_set.final(), window=self.count_window)
+
+    def estimate_edits_batch(
+        self, read_codes: np.ndarray, ref_codes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised GateKeeper pipeline over a ``(n_pairs, n_bases)`` batch."""
+        return _estimate_edits_batch(
+            read_codes,
+            ref_codes,
+            self.error_threshold,
+            edge_policy=self.edge_policy,
+            count_window=self.count_window,
+            max_zero_run=self.max_zero_run,
+        )

@@ -8,16 +8,20 @@ map; in every window the diagonal sub-segment containing the most zeros is
 accepted into the Shouji bit-vector.  The number of positions never covered
 by an accepted zero approximates the edit distance; if it exceeds the
 threshold the pair is rejected.
+
+Both a scalar path (one pair) and a vectorised path (``(n_pairs, n_bases)``
+code batches, used by :class:`repro.engine.FilterEngine`) are provided; they
+produce identical estimates by construction (same window scan, same
+leftmost-diagonal tie-break via ``argmax``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..genomics.encoding import encode_to_codes
 from .base import PreAlignmentFilter
 
-__all__ = ["ShoujiFilter", "neighborhood_map"]
+__all__ = ["ShoujiFilter", "neighborhood_map", "neighborhood_map_batch"]
 
 
 def neighborhood_map(read_codes: np.ndarray, ref_codes: np.ndarray, error_threshold: int) -> np.ndarray:
@@ -29,15 +33,34 @@ def neighborhood_map(read_codes: np.ndarray, ref_codes: np.ndarray, error_thresh
     """
     read_codes = np.asarray(read_codes, dtype=np.uint8)
     ref_codes = np.asarray(ref_codes, dtype=np.uint8)
-    n = len(read_codes)
+    return neighborhood_map_batch(
+        read_codes[np.newaxis, :], ref_codes[np.newaxis, :], error_threshold
+    )[0]
+
+
+def neighborhood_map_batch(
+    read_codes: np.ndarray, ref_codes: np.ndarray, error_threshold: int
+) -> np.ndarray:
+    """Neighborhood maps of a batch: ``(n_pairs, 2e+1, n)`` uint8 array.
+
+    The batched analogue of :func:`neighborhood_map`; row ``i`` of each pair's
+    map marks the mismatches along diagonal ``i - e``.
+    """
+    read_codes = np.asarray(read_codes, dtype=np.uint8)
+    ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+    if read_codes.shape != ref_codes.shape:
+        raise ValueError("read and reference code arrays must have the same shape")
+    n_pairs, n = read_codes.shape
     e = int(error_threshold)
-    nmap = np.ones((2 * e + 1, n), dtype=np.uint8)
+    nmap = np.ones((n_pairs, 2 * e + 1, n), dtype=np.uint8)
     for i in range(2 * e + 1):
         d = i - e
         lo = max(0, -d)
         hi = min(n, n - d)
         if hi > lo:
-            nmap[i, lo:hi] = (read_codes[lo:hi] != ref_codes[lo + d : hi + d]).astype(np.uint8)
+            nmap[:, i, lo:hi] = (
+                read_codes[:, lo:hi] != ref_codes[:, lo + d : hi + d]
+            ).astype(np.uint8)
     return nmap
 
 
@@ -58,20 +81,39 @@ class ShoujiFilter(PreAlignmentFilter):
         super().__init__(error_threshold)
         self.window = int(window)
 
-    def estimate_edits(self, read: str, reference_segment: str) -> int:
-        read_codes = encode_to_codes(read)
-        ref_codes = encode_to_codes(reference_segment)
-        n = len(read_codes)
-        nmap = neighborhood_map(read_codes, ref_codes, self.error_threshold)
-        shouji_vector = np.ones(n, dtype=np.uint8)
+    def estimate_edits_codes(self, read_codes: np.ndarray, ref_codes: np.ndarray) -> int:
+        read_codes = np.asarray(read_codes, dtype=np.uint8)
+        ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+        return int(
+            self.estimate_edits_batch(read_codes[np.newaxis, :], ref_codes[np.newaxis, :])[0]
+        )
+
+    def estimate_edits_batch(
+        self, read_codes: np.ndarray, ref_codes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Shouji scan over a ``(n_pairs, n_bases)`` batch.
+
+        Every window's best diagonal is picked per pair with ``argmax`` over
+        the per-diagonal zero counts (first maximum wins, i.e. the leftmost
+        diagonal, as in the scalar reference).
+        """
+        read_codes = np.asarray(read_codes, dtype=np.uint8)
+        ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+        if read_codes.shape != ref_codes.shape:
+            raise ValueError("read and reference code arrays must have the same shape")
+        n_pairs, n = read_codes.shape
+        nmap = neighborhood_map_batch(read_codes, ref_codes, self.error_threshold)
+        shouji_vector = np.ones((n_pairs, n), dtype=np.uint8)
         w = self.window
         for start in range(0, n, w):
             end = min(start + w, n)
-            block = nmap[:, start:end]
-            zeros_per_diag = (block == 0).sum(axis=1)
-            best_diag = int(np.argmax(zeros_per_diag))
+            block = nmap[:, :, start:end]  # (n_pairs, 2e+1, window)
+            zeros_per_diag = (block == 0).sum(axis=2)  # (n_pairs, 2e+1)
+            best_diag = zeros_per_diag.argmax(axis=1)  # (n_pairs,)
+            chosen = np.take_along_axis(
+                block, best_diag[:, np.newaxis, np.newaxis], axis=1
+            )[:, 0, :]
             # Accept the zeros of the best diagonal sub-segment into the
-            # Shouji bit-vector (leftmost diagonal wins ties via argmax).
-            accepted = block[best_diag] == 0
-            shouji_vector[start:end] &= np.where(accepted, 0, 1).astype(np.uint8)
-        return int(shouji_vector.sum())
+            # Shouji bit-vector.
+            shouji_vector[:, start:end] &= (chosen != 0).astype(np.uint8)
+        return shouji_vector.sum(axis=1).astype(np.int32)

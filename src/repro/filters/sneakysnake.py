@@ -11,16 +11,19 @@ never causes a false reject.
 
 The optimal routing can be computed greedily: from the current column, find
 the diagonal with the longest run of obstacle-free cells, travel along it and
-pay one unit to cross the next column.
+pay one unit to cross the next column.  The vectorised batch path precomputes
+the longest obstacle-free run starting at every column (a right-to-left scan
+vectorised over pairs and diagonals) and advances all pairs' greedy walks in
+lockstep; it reproduces the scalar estimates exactly, including the early
+exit once a pair's estimate exceeds the threshold.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..genomics.encoding import encode_to_codes
 from .base import PreAlignmentFilter
-from .shouji import neighborhood_map
+from .shouji import neighborhood_map_batch
 
 __all__ = ["SneakySnakeFilter"]
 
@@ -33,36 +36,49 @@ class SneakySnakeFilter(PreAlignmentFilter):
     def __init__(self, error_threshold: int):
         super().__init__(error_threshold)
 
-    @staticmethod
-    def _longest_zero_run_from(nmap: np.ndarray, column: int) -> int:
-        """Longest run of zeros starting exactly at ``column`` over all rows."""
-        n = nmap.shape[1]
-        best = 0
-        for row in nmap:
-            length = 0
-            j = column
-            while j < n and row[j] == 0:
-                length += 1
-                j += 1
-            if length > best:
-                best = length
-        return best
+    def estimate_edits_codes(self, read_codes: np.ndarray, ref_codes: np.ndarray) -> int:
+        read_codes = np.asarray(read_codes, dtype=np.uint8)
+        ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+        return int(
+            self.estimate_edits_batch(read_codes[np.newaxis, :], ref_codes[np.newaxis, :])[0]
+        )
 
-    def estimate_edits(self, read: str, reference_segment: str) -> int:
-        read_codes = encode_to_codes(read)
-        ref_codes = encode_to_codes(reference_segment)
-        n = len(read_codes)
-        nmap = neighborhood_map(read_codes, ref_codes, self.error_threshold)
-        edits = 0
-        column = 0
-        while column < n:
-            run = self._longest_zero_run_from(nmap, column)
-            column += run
-            if column < n:
-                # Must cross an obstacle column: one edit.
-                edits += 1
-                column += 1
-                # Early exit: the estimate already exceeds the threshold.
-                if edits > self.error_threshold:
-                    break
+    def estimate_edits_batch(
+        self, read_codes: np.ndarray, ref_codes: np.ndarray
+    ) -> np.ndarray:
+        read_codes = np.asarray(read_codes, dtype=np.uint8)
+        ref_codes = np.asarray(ref_codes, dtype=np.uint8)
+        if read_codes.shape != ref_codes.shape:
+            raise ValueError("read and reference code arrays must have the same shape")
+        n_pairs, n = read_codes.shape
+        if n == 0:
+            return np.zeros(n_pairs, dtype=np.int32)
+        e = self.error_threshold
+        nmap = neighborhood_map_batch(read_codes, ref_codes, e)
+
+        # longest_run[:, c]: longest obstacle-free run over all diagonals
+        # starting exactly at column c, built with a right-to-left scan.
+        longest_run = np.empty((n_pairs, n), dtype=np.int32)
+        run = np.zeros((n_pairs, nmap.shape[1]), dtype=np.int32)
+        for c in range(n - 1, -1, -1):
+            run = np.where(nmap[:, :, c] == 0, run + 1, 0)
+            longest_run[:, c] = run.max(axis=1)
+
+        # Greedy routing, all pairs in lockstep.  A pair leaves the loop when
+        # its signal reaches the last column or its estimate exceeds the
+        # threshold (the scalar early exit).
+        edits = np.zeros(n_pairs, dtype=np.int32)
+        column = np.zeros(n_pairs, dtype=np.int64)
+        active = np.ones(n_pairs, dtype=bool)
+        while True:
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            column[idx] += longest_run[idx, column[idx]]
+            crossing = idx[column[idx] < n]
+            # Must cross an obstacle column: one edit.
+            edits[crossing] += 1
+            column[crossing] += 1
+            active[idx] = column[idx] < n
+            active[crossing] &= edits[crossing] <= e
         return edits

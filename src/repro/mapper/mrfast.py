@@ -20,6 +20,7 @@ import numpy as np
 
 from ..align.banded import banded_edit_distance
 from ..core.filter import GateKeeperGPU
+from ..core.preprocess import encode_pair_arrays
 from ..filters.base import PreAlignmentFilter
 from ..genomics.reference import ReferenceGenome
 from ..genomics.sequence import Read
@@ -66,8 +67,12 @@ class MrFastMapper:
     k:
         Seed length of the k-mer index.
     prefilter:
-        ``None`` (no pre-alignment filter), a :class:`GateKeeperGPU` instance
-        (batched GPU filtering), or any scalar :class:`PreAlignmentFilter`.
+        ``None`` (no pre-alignment filter), a filtering engine
+        (:class:`GateKeeperGPU`, :class:`repro.engine.FilterEngine` or
+        :class:`repro.engine.FilterCascade`), a scalar
+        :class:`PreAlignmentFilter` instance, or a registry name string such
+        as ``"shouji"`` (resolved to a :class:`~repro.engine.FilterEngine`
+        when the first read batch fixes the read length).
     max_reads_per_batch:
         Number of reads whose candidates are pooled into one filter batch
         (the Table 1 knob; 100,000 in the paper's best configuration).
@@ -78,7 +83,7 @@ class MrFastMapper:
         reference: ReferenceGenome,
         error_threshold: int,
         k: int = 12,
-        prefilter: GateKeeperGPU | PreAlignmentFilter | None = None,
+        prefilter: GateKeeperGPU | PreAlignmentFilter | str | None = None,
         max_candidates_per_read: int = 2048,
         max_reads_per_batch: int = 100_000,
         verification_cost_per_pair_s: float = VERIFICATION_COST_PER_PAIR_S,
@@ -87,7 +92,10 @@ class MrFastMapper:
         self.error_threshold = int(error_threshold)
         self.index = KmerIndex(reference, k=k)
         self.seeder = Seeder(self.index, self.error_threshold, max_candidates_per_read)
-        self.prefilter = prefilter
+        # Name specs are resolved into a FilterEngine lazily, when the first
+        # read batch fixes the read length.
+        self._prefilter_name = prefilter if isinstance(prefilter, str) else None
+        self.prefilter = None if isinstance(prefilter, str) else prefilter
         self.max_reads_per_batch = max_reads_per_batch
         self.verification_cost_per_pair_s = verification_cost_per_pair_s
 
@@ -96,26 +104,52 @@ class MrFastMapper:
     # ------------------------------------------------------------------ #
     @property
     def filter_name(self) -> str:
+        if self._prefilter_name is not None:
+            from ..engine.registry import get_filter_class
+
+            return get_filter_class(self._prefilter_name).name
         if self.prefilter is None:
             return "NoFilter"
         if isinstance(self.prefilter, GateKeeperGPU):
             return "GateKeeper-GPU"
         return getattr(self.prefilter, "name", type(self.prefilter).__name__)
 
+    def _resolve_prefilter(self, read_length: int):
+        """Resolve a registry-name prefilter into an engine.
+
+        The engine is rebuilt if a batch arrives with a different read length
+        (the name spec is kept so the rebuild is transparent).
+        """
+        if self._prefilter_name is not None and (
+            self.prefilter is None or self.prefilter.read_length != read_length
+        ):
+            from ..engine.engine import FilterEngine
+
+            self.prefilter = FilterEngine(
+                self._prefilter_name,
+                read_length=read_length,
+                error_threshold=self.error_threshold,
+                max_reads_per_batch=self.max_reads_per_batch,
+            )
+        return self.prefilter
+
     def _apply_filter(
         self, reads: list[str], segments: list[str]
     ) -> tuple[np.ndarray, float, float, int]:
         """Return (accept mask, kernel_s, filter_s, undefined count) of the filter stage."""
         n = len(reads)
-        if self.prefilter is None or n == 0:
+        if (self.prefilter is None and self._prefilter_name is None) or n == 0:
             return np.ones(n, dtype=bool), 0.0, 0.0, 0
-        if isinstance(self.prefilter, GateKeeperGPU):
-            result = self.prefilter.filter_lists(reads, segments)
+        prefilter = self._resolve_prefilter(len(reads[0]))
+        if hasattr(prefilter, "filter_lists"):
+            result = prefilter.filter_lists(reads, segments)
             return result.accepted, result.kernel_time_s, result.filter_time_s, result.n_undefined
-        results = self.prefilter.filter_pairs(list(zip(reads, segments)))
-        accepted = np.asarray([r.accepted for r in results], dtype=bool)
-        undefined = sum(1 for r in results if r.decision.name == "UNDEFINED")
-        return accepted, 0.0, 0.0, undefined
+        # Bare PreAlignmentFilter instance: run its vectorised batch protocol
+        # (identical decisions to filter_pair, an order of magnitude faster).
+        read_codes, ref_codes, undefined = encode_pair_arrays(reads, segments)
+        estimates = prefilter.estimate_edits_batch(read_codes, ref_codes)
+        accepted = undefined | (estimates <= prefilter.error_threshold)
+        return accepted, 0.0, 0.0, int(undefined.sum())
 
     # ------------------------------------------------------------------ #
     # Mapping

@@ -1,30 +1,14 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite (plain helpers live in ``helpers.py``)."""
 
 from __future__ import annotations
 
 import random
 
-import numpy as np
 import pytest
 
-from repro.simulate.mutations import apply_exact_edits
+from helpers import mutated_pair, random_sequence
 
-BASES = "ACGT"
-
-
-def random_sequence(length: int, rng: random.Random) -> str:
-    """Uniform random DNA string."""
-    return "".join(rng.choice(BASES) for _ in range(length))
-
-
-def mutated_pair(
-    length: int, n_edits: int, rng: random.Random, indel_fraction: float = 0.2
-) -> tuple[str, str]:
-    """A (read, segment) pair where the read is the segment with ~n_edits edits."""
-    segment = random_sequence(length, rng)
-    np_rng = np.random.default_rng(rng.randrange(1 << 30))
-    read = apply_exact_edits(segment, n_edits, np_rng, indel_fraction=indel_fraction)
-    return read, segment
+__all__ = ["mutated_pair", "random_sequence"]
 
 
 @pytest.fixture

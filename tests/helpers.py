@@ -1,0 +1,32 @@
+"""Shared test helpers (importable as ``from helpers import ...``).
+
+These used to live in ``conftest.py``, but importing *from* a conftest module
+is fragile: with both ``tests/conftest.py`` and ``benchmarks/conftest.py`` on
+the path, ``from conftest import ...`` resolves whichever was loaded first.
+Keeping the plain helpers in a regular module avoids the ambiguity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.simulate.mutations import apply_exact_edits
+
+BASES = "ACGT"
+
+
+def random_sequence(length: int, rng: random.Random) -> str:
+    """Uniform random DNA string."""
+    return "".join(rng.choice(BASES) for _ in range(length))
+
+
+def mutated_pair(
+    length: int, n_edits: int, rng: random.Random, indel_fraction: float = 0.2
+) -> tuple[str, str]:
+    """A (read, segment) pair where the read is the segment with ~n_edits edits."""
+    segment = random_sequence(length, rng)
+    np_rng = np.random.default_rng(rng.randrange(1 << 30))
+    read = apply_exact_edits(segment, n_edits, np_rng, indel_fraction=indel_fraction)
+    return read, segment

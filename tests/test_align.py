@@ -12,7 +12,7 @@ from repro.align import (
     smith_waterman,
     within_threshold,
 )
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 class TestEditDistance:

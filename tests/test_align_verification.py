@@ -10,7 +10,7 @@ from repro.align import (
     ground_truth_labels,
 )
 from repro.genomics import SequencePair
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 class TestVerifier:

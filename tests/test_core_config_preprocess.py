@@ -11,7 +11,7 @@ from repro.core import (
     prepare_batches,
 )
 from repro.gpusim import GTX_1080_TI, SETUP_1, SETUP_2, TESLA_K20X
-from conftest import random_sequence
+from helpers import random_sequence
 
 
 class TestSystemConfiguration:

@@ -8,7 +8,7 @@ from repro.core import EncodingActor, FilteringPipeline, GateKeeperGPU
 from repro.filters import GateKeeperGPUFilter
 from repro.gpusim import SETUP_1, SETUP_2
 from repro.simulate import build_dataset
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,7 @@ from repro.core import (
 from repro.filters import EdgePolicy, gatekeeper_batch
 from repro.filters.bitvector import shifted_mask
 from repro.genomics import encode_batch_codes, pack_codes_to_words, unpack_words_to_codes
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 def _codes(rng, n, length):

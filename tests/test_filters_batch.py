@@ -15,7 +15,7 @@ from repro.filters import (
 )
 from repro.filters.bitvector import amend_mask, shifted_mask
 from repro.genomics import encode_batch_codes
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 class TestBatchPrimitives:

@@ -12,7 +12,7 @@ from repro.filters import (
     neighborhood_map,
 )
 from repro.genomics import encode_to_codes
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 ALL_COMPARATORS = [MagnetFilter, ShoujiFilter, SneakySnakeFilter]

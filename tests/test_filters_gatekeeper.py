@@ -9,7 +9,7 @@ from repro.filters import (
     GateKeeperGPUFilter,
     SHDFilter,
 )
-from conftest import mutated_pair, random_sequence
+from helpers import mutated_pair, random_sequence
 
 
 class TestBasicDecisions:
