@@ -1,0 +1,105 @@
+"""Streaming-runtime smoke benchmark: in-memory vs chunked vs multi-device.
+
+Unlike the table/figure benchmarks (which are pytest-benchmark modules), this
+is a plain script so CI can run it without extra dependencies:
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+
+It filters the same candidate pool three ways — fully materialised
+(``FilteringPipeline``), streamed in chunks (``StreamingPipeline``, 1
+device), and streamed across 4 simulated devices — and writes
+``BENCH_streaming.json`` with measured reads/s plus the modelled
+serial-vs-overlapped stream times, so the perf trajectory of the streaming
+path is tracked from the first PR that introduced it.
+
+Environment knobs: ``REPRO_BENCH_STREAM_PAIRS`` (default 20,000) and
+``REPRO_BENCH_STREAM_CHUNK`` (default 4,000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pipeline import FilteringPipeline  # noqa: E402
+from repro.engine import FilterEngine  # noqa: E402
+from repro.runtime import StreamingPipeline  # noqa: E402
+from repro.simulate.datasets import build_dataset  # noqa: E402
+
+N_PAIRS = int(os.environ.get("REPRO_BENCH_STREAM_PAIRS", "20000"))
+CHUNK_SIZE = int(os.environ.get("REPRO_BENCH_STREAM_CHUNK", "4000"))
+ERROR_THRESHOLD = 5
+FILTER_NAME = "gatekeeper-gpu"
+OUTPUT = Path(os.environ.get("REPRO_BENCH_STREAM_OUTPUT", "BENCH_streaming.json"))
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    dataset = build_dataset("Set 1", n_pairs=N_PAIRS, seed=42)
+
+    in_memory, t_memory = timed(
+        lambda: FilteringPipeline(FILTER_NAME, error_threshold=ERROR_THRESHOLD).run(
+            dataset, verify=False
+        )
+    )
+    streamed, t_stream = timed(
+        lambda: StreamingPipeline(
+            FILTER_NAME, chunk_size=CHUNK_SIZE, error_threshold=ERROR_THRESHOLD
+        ).run_dataset(dataset, verify=False)
+    )
+    multi, t_multi = timed(
+        lambda: StreamingPipeline(
+            FilterEngine(
+                FILTER_NAME,
+                read_length=dataset.read_length,
+                error_threshold=ERROR_THRESHOLD,
+                n_devices=4,
+            ),
+            chunk_size=CHUNK_SIZE,
+        ).run_dataset(dataset, verify=False)
+    )
+    if streamed.n_accepted != in_memory.filter_result.n_accepted:
+        raise SystemExit("streaming/in-memory decision mismatch — benchmark aborted")
+
+    payload = {
+        "n_pairs": N_PAIRS,
+        "chunk_size": CHUNK_SIZE,
+        "filter": FILTER_NAME,
+        "error_threshold": ERROR_THRESHOLD,
+        "reads_per_s": {
+            "in_memory": round(N_PAIRS / t_memory, 1),
+            "streaming_1gpu": round(N_PAIRS / t_stream, 1),
+            "streaming_4gpu": round(N_PAIRS / t_multi, 1),
+        },
+        "wall_clock_s": {
+            "in_memory": round(t_memory, 4),
+            "streaming_1gpu": round(t_stream, 4),
+            "streaming_4gpu": round(t_multi, 4),
+        },
+        "modelled": {
+            "streaming_1gpu_serial_s": streamed.serial_time_s,
+            "streaming_1gpu_overlapped_s": streamed.overlapped_time_s,
+            "streaming_4gpu_serial_s": multi.serial_time_s,
+            "streaming_4gpu_overlapped_s": multi.overlapped_time_s,
+            "streaming_4gpu_overlap_speedup": round(multi.overlap_speedup, 3),
+        },
+        "n_chunks": streamed.n_chunks,
+        "reduction_pct": round(100.0 * streamed.reduction, 2),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ setup(
             "repro-filter=repro.cli:filter_main",
             "repro-map=repro.cli:map_main",
             "repro-experiment=repro.cli:experiment_main",
+            "repro-stream=repro.cli:stream_main",
         ]
     },
     classifiers=[

@@ -21,6 +21,8 @@ Package map
 ``repro.core``      The GateKeeper-GPU system pipeline (config, buffers, word-array
                     kernel) and the :class:`GateKeeperGPU` façade.
 ``repro.mapper``    mrFAST-like seed-and-extend mapper with pluggable filtering.
+``repro.runtime``   Chunked streaming pipeline over real FASTQ/FASTA inputs:
+                    bounded memory, multi-device sharding, stream-overlap model.
 ``repro.analysis``  Accuracy/throughput/speedup metrics and experiment drivers.
 
 Quickstart
@@ -52,6 +54,7 @@ from .filters import (
     ShoujiFilter,
     SneakySnakeFilter,
 )
+from .runtime import StreamingPipeline, StreamingReport
 
 __version__ = "1.1.0"
 
@@ -69,5 +72,7 @@ __all__ = [
     "SHDFilter",
     "ShoujiFilter",
     "SneakySnakeFilter",
+    "StreamingPipeline",
+    "StreamingReport",
     "__version__",
 ]

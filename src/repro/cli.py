@@ -1,6 +1,6 @@
 """Command line entry points.
 
-Three commands are installed with the package:
+Four commands are installed with the package:
 
 ``repro-filter``
     Filter a candidate-pair pool with any registered pre-alignment filter
@@ -11,11 +11,16 @@ Three commands are installed with the package:
     pre-alignment filter.
 ``repro-experiment``
     Regenerate one of the paper's tables / figures by name.
+``repro-stream``
+    Stream a real FASTQ/FASTA read file (seeded against a reference) or a
+    pairs TSV through the chunked, bounded-memory
+    :class:`repro.runtime.StreamingPipeline`, sharded over ``--devices``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -25,7 +30,7 @@ from .engine import FilterCascade, FilterEngine, available_filters
 from .gpusim.device import SETUP_1, SETUP_2
 from .simulate.datasets import DEFAULT_N_PAIRS, PAPER_DATASETS, build_dataset
 
-__all__ = ["filter_main", "map_main", "experiment_main"]
+__all__ = ["filter_main", "map_main", "experiment_main", "stream_main"]
 
 
 def _setup(name: str):
@@ -120,6 +125,120 @@ def map_main(argv: Sequence[str] | None = None) -> int:
     if args.no_filter:
         rows = rows[:1]
     print(format_table(rows, title="Whole-genome mapping information"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro-stream
+# --------------------------------------------------------------------------- #
+def stream_main(argv: Sequence[str] | None = None) -> int:
+    """Chunked streaming filtration of real FASTQ/FASTA (or pairs-TSV) inputs."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "Stream candidate pairs from files through a pre-alignment filter "
+            "in bounded memory, sharded across simulated devices"
+        )
+    )
+    parser.add_argument(
+        "--input",
+        required=True,
+        help="FASTQ/FASTA read file (requires --reference) or a "
+        "two-column read<TAB>segment pairs file",
+    )
+    parser.add_argument(
+        "--reference",
+        default=None,
+        help="reference FASTA to seed the reads against (mapper-index source)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="gatekeeper-gpu",
+        choices=available_filters(),
+        help="pre-alignment filter to run (default: gatekeeper-gpu)",
+    )
+    parser.add_argument(
+        "--cascade",
+        default=None,
+        metavar="A,B[,C...]",
+        help="comma-separated filter names run as a cascade "
+        "(cheapest first; overrides --filter)",
+    )
+    parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument("--chunk-size", type=int, default=100_000)
+    parser.add_argument("--devices", type=int, default=1)
+    parser.add_argument("--setup", choices=["setup1", "setup2"], default="setup1")
+    parser.add_argument("--encoding", choices=["host", "device"], default="device")
+    parser.add_argument("--seeding-k", type=int, default=12, help="seed k-mer length")
+    parser.add_argument(
+        "--max-candidates", type=int, default=2048, help="candidate cap per read"
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true", help="skip the exact verification loop"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    parser.add_argument(
+        "--max-chunk-rows",
+        type=int,
+        default=50,
+        help="per-chunk accounting rows to keep/print (0 disables; default 50)",
+    )
+    args = parser.parse_args(argv)
+    if args.chunk_size < 1:
+        parser.error("--chunk-size must be at least 1")
+    if args.devices < 1:
+        parser.error("--devices must be at least 1")
+
+    from .runtime import StreamingPipeline
+
+    if args.cascade:
+        names = [name.strip() for name in args.cascade.split(",") if name.strip()]
+        if len(names) < 2:
+            parser.error("--cascade needs at least two comma-separated filter names")
+        spec: object = names
+    else:
+        spec = args.filter
+    if args.max_chunk_rows < 0:
+        parser.error("--max-chunk-rows must be non-negative")
+    pipeline = StreamingPipeline(
+        spec,
+        chunk_size=args.chunk_size,
+        error_threshold=args.error_threshold,
+        # The CLI only reports totals, so keep the run truly O(chunk): no
+        # concatenated per-pair decision vectors, and only the first
+        # --max-chunk-rows per-chunk accounting rows.
+        collect_decisions=False,
+        collect_chunk_reports=args.max_chunk_rows > 0,
+        max_chunk_reports=args.max_chunk_rows,
+        engine_kwargs=dict(
+            setup=_setup(args.setup),
+            n_devices=args.devices,
+            encoding=EncodingActor(args.encoding),
+        ),
+    )
+    try:
+        report = pipeline.run_file(
+            args.input,
+            reference=args.reference,
+            verify=not args.no_verify,
+            seeding_k=args.seeding_k,
+            max_candidates_per_read=args.max_candidates,
+        )
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(format_table([report.summary()], title=f"{report.filter_name} on {report.dataset_name}"))
+    print()
+    print(format_table([report.streaming_summary()], title="Streaming execution"))
+    if report.chunks:
+        print()
+        print(format_table([c.summary() for c in report.chunks], title="Per-chunk accounting"))
+        if report.n_chunks > len(report.chunks):
+            print(f"... showing first {len(report.chunks)} of {report.n_chunks} chunks")
     return 0
 
 

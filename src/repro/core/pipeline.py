@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
 
 import numpy as np
 
@@ -27,12 +29,36 @@ from ..gpusim.timing import FilterTiming
 from ..simulate.pairs import PairDataset
 from .results import FilterRunResult
 
-__all__ = ["PipelineReport", "FilteringPipeline"]
+__all__ = ["PipelineReport", "FilteringPipeline", "resolve_error_threshold"]
 
 #: Calibrated cost of verifying one candidate pair with the banded DP verifier
 #: on the paper's host (seconds); used to scale verification times to data-set
-#: sizes that are not actually executed.
+#: sizes that are not actually executed.  The single source for this constant:
+#: the mapper and the streaming runtime import it from here.
 VERIFICATION_COST_PER_PAIR_S = 314.0e-9
+
+
+def resolve_error_threshold(engine, error_threshold: int | None) -> int:
+    """The effective threshold of ``engine`` / an explicit ``error_threshold``.
+
+    Engines and filter instances carry their own threshold; name/class specs
+    need the explicit one.  An explicit threshold that disagrees with the
+    engine's is an error — shared by the in-memory and streaming pipelines so
+    both resolve identically.
+    """
+    threshold = getattr(engine, "error_threshold", None)
+    if threshold is None:
+        threshold = error_threshold
+    if threshold is None:
+        raise ValueError(
+            "error_threshold is required when the engine does not carry one"
+        )
+    if error_threshold is not None and int(error_threshold) != int(threshold):
+        raise ValueError(
+            f"engine error_threshold ({threshold}) disagrees with the "
+            f"explicit error_threshold ({error_threshold})"
+        )
+    return int(threshold)
 
 
 @dataclass
@@ -123,19 +149,7 @@ class FilteringPipeline:
         error_threshold: int | None = None,
     ):
         self.engine = engine
-        threshold = getattr(engine, "error_threshold", None)
-        if threshold is None:
-            threshold = error_threshold
-        if threshold is None:
-            raise ValueError(
-                "error_threshold is required when the engine does not carry one"
-            )
-        if error_threshold is not None and int(error_threshold) != int(threshold):
-            raise ValueError(
-                f"engine error_threshold ({threshold}) disagrees with the "
-                f"explicit error_threshold ({error_threshold})"
-            )
-        self.error_threshold = int(threshold)
+        self.error_threshold = resolve_error_threshold(engine, error_threshold)
         self.verifier = verifier or Verifier(self.error_threshold)
         self.verification_cost_per_pair_s = verification_cost_per_pair_s
         self._lazy_spec = None
@@ -169,13 +183,39 @@ class FilteringPipeline:
             )
         return self.engine
 
-    def run(self, dataset: PairDataset, verify: bool = True) -> PipelineReport:
+    def run(
+        self,
+        dataset: "PairDataset | str | Path | Iterable[tuple[str, str]]",
+        verify: bool = True,
+        chunk_size: int = 100_000,
+        reference: "str | Path | None" = None,
+        collect_decisions: bool = True,
+    ):
         """Run the pipeline over ``dataset``.
+
+        ``dataset`` may be a fully materialised :class:`PairDataset` (the
+        classic in-memory path, returning a :class:`PipelineReport`) — or a
+        file path / pair iterator, in which case the run is delegated to the
+        chunked :class:`repro.runtime.StreamingPipeline` and returns a
+        :class:`~repro.runtime.StreamingReport` whose totals are
+        byte-identical to the in-memory report on the same data.
 
         ``verify=False`` skips the actual verification loop (useful for large
         throughput-only runs); the verification *time* is still modelled from
         the per-pair cost so the speedup accounting stays available.
+        ``chunk_size``, ``reference`` and ``collect_decisions`` only apply to
+        the streaming path (``reference`` is the FASTA to seed a FASTQ/FASTA
+        read file against; pass ``collect_decisions=False`` to drop the
+        per-pair decision vectors and keep the run strictly O(chunk)).
         """
+        if isinstance(dataset, (str, Path)) or not hasattr(dataset, "reads"):
+            return self.run_stream(
+                dataset,
+                verify=verify,
+                chunk_size=chunk_size,
+                reference=reference,
+                collect_decisions=collect_decisions,
+            )
         filter_result = self._engine_for(dataset).filter_dataset(dataset)
         surviving = filter_result.accepted_indices()
 
@@ -212,3 +252,38 @@ class FilteringPipeline:
             verification_wall_clock_s=wall,
             no_filter_verification_time_s=no_filter_time,
         )
+
+    def run_stream(
+        self,
+        source: "str | Path | PairDataset | Iterable[tuple[str, str]]",
+        verify: bool = True,
+        chunk_size: int = 100_000,
+        reference: "str | Path | None" = None,
+        name: str | None = None,
+        collect_decisions: bool = True,
+    ):
+        """Run the pipeline in O(chunk) memory via :class:`StreamingPipeline`.
+
+        ``source`` may be a pairs-TSV path, a FASTQ/FASTA read file (with
+        ``reference``), a :class:`PairDataset`, or any iterator of
+        ``(read, segment)`` tuples.  Returns a
+        :class:`repro.runtime.StreamingReport`.  With
+        ``collect_decisions=False`` the report drops the concatenated
+        per-pair vectors, so memory stays O(chunk) on unbounded inputs.
+        """
+        from ..runtime.streaming import StreamingPipeline
+
+        spec = self.engine if self._lazy_spec is None else self._lazy_spec
+        streaming = StreamingPipeline(
+            spec,
+            chunk_size=chunk_size,
+            verifier=self.verifier,
+            error_threshold=self.error_threshold,
+            verification_cost_per_pair_s=self.verification_cost_per_pair_s,
+            collect_decisions=collect_decisions,
+        )
+        if isinstance(source, (str, Path)):
+            return streaming.run_file(source, reference=reference, verify=verify, name=name)
+        if hasattr(source, "reads"):
+            return streaming.run_dataset(source, verify=verify)
+        return streaming.run_pairs(source, name=name or "stream", verify=verify)

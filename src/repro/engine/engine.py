@@ -167,6 +167,42 @@ class FilterEngine:
         accepted = undefined | (estimates <= e)
         return estimates, accepted, undefined
 
+    def filter_share(
+        self, reads: Sequence[str], segments: Sequence[str]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Run the batched kernel path over one device's share of the work.
+
+        This is the single-device core of :meth:`filter_lists`: no device
+        splitting and no timing model, just batching, encoding and the kernel.
+        Returns ``(estimated_edits, accepted, undefined, n_batches)``; an
+        empty share yields empty arrays.  :class:`repro.runtime` uses this to
+        shard streamed chunks across devices with
+        :class:`~repro.gpusim.multi_gpu.MultiGpuDispatcher`.
+        """
+        if len(reads) != len(segments):
+            raise ValueError("reads and segments must have the same length")
+        n = len(reads)
+        if n and len(reads[0]) != self.config.read_length:
+            # The read length is a compile-time constant of the simulated
+            # kernel; silently filtering at the wrong length would truncate
+            # or pad every comparison.
+            raise ValueError(
+                f"engine is configured for read_length={self.config.read_length} "
+                f"but received {len(reads[0])} bp sequences"
+            )
+        accepted = np.zeros(n, dtype=bool)
+        estimates = np.zeros(n, dtype=np.int32)
+        undefined = np.zeros(n, dtype=bool)
+        n_batches = 0
+        for batch in prepare_batches(reads, segments, self.config):
+            batch_estimates, batch_accepted, batch_undefined = self._run_batch(batch)
+            hi = batch.start + batch.n_pairs
+            accepted[batch.start : hi] = batch_accepted
+            estimates[batch.start : hi] = batch_estimates
+            undefined[batch.start : hi] = batch_undefined
+            n_batches += 1
+        return estimates, accepted, undefined, n_batches
+
     def filter_lists(
         self, reads: Sequence[str], segments: Sequence[str]
     ) -> FilterRunResult:
@@ -176,14 +212,6 @@ class FilterEngine:
         n = len(reads)
         if n == 0:
             raise ValueError("cannot filter an empty work list")
-        if len(reads[0]) != self.config.read_length:
-            # The read length is a compile-time constant of the simulated
-            # kernel; silently filtering at the wrong length would truncate
-            # or pad every comparison.
-            raise ValueError(
-                f"engine is configured for read_length={self.config.read_length} "
-                f"but received {len(reads[0])} bp sequences"
-            )
 
         accepted = np.zeros(n, dtype=bool)
         estimates = np.zeros(n, dtype=np.int32)
@@ -194,18 +222,13 @@ class FilterEngine:
         # Device shares: pairs are split evenly across devices; within each
         # share the pipeline batches by the configured batch size.
         for share in split_evenly(n, self.config.n_devices):
-            share_reads = reads[share]
-            share_segments = segments[share]
-            if len(share_reads) == 0:
-                continue
-            for batch in prepare_batches(share_reads, share_segments, self.config):
-                batch_estimates, batch_accepted, batch_undefined = self._run_batch(batch)
-                lo = share.start + batch.start
-                hi = lo + batch.n_pairs
-                accepted[lo:hi] = batch_accepted
-                estimates[lo:hi] = batch_estimates
-                undefined[lo:hi] = batch_undefined
-                n_batches += 1
+            share_estimates, share_accepted, share_undefined, share_batches = (
+                self.filter_share(reads[share], segments[share])
+            )
+            accepted[share] = share_accepted
+            estimates[share] = share_estimates
+            undefined[share] = share_undefined
+            n_batches += share_batches
         wall_clock = time.perf_counter() - wall_start
 
         timing = self.timing_model.filter_timing(

@@ -2,39 +2,49 @@
 
 from __future__ import annotations
 
-import gzip
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from typing import Iterable, Iterator
 
+from .opener import open_text as _open
 from .sequence import Sequence
 
 __all__ = ["read_fasta", "write_fasta", "iter_fasta"]
 
 
-def _open(path: str | Path, mode: str) -> TextIO:
-    path = Path(path)
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t")  # type: ignore[return-value]
-    return open(path, mode)
-
-
 def iter_fasta(path: str | Path) -> Iterator[Sequence]:
-    """Yield :class:`Sequence` records from a FASTA file (optionally gzipped)."""
+    """Yield :class:`Sequence` records from a FASTA file (optionally gzipped).
+
+    Malformed records (sequence data before any ``>`` header, or a header
+    with no name) raise :class:`ValueError` naming the file, the record
+    number and the offending line.
+    """
+    path = Path(path)
     name: str | None = None
     chunks: list[str] = []
+    record = 0
     with _open(path, "r") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.rstrip("\n")
             if not line:
                 continue
             if line.startswith(">"):
                 if name is not None:
                     yield Sequence(name=name, bases="".join(chunks))
-                name = line[1:].split()[0]
+                record += 1
+                fields = line[1:].split()
+                if not fields:
+                    raise ValueError(
+                        f"{path}: FASTA record {record} (line {line_number}): "
+                        f"header has no sequence name"
+                    )
+                name = fields[0]
                 chunks = []
             else:
                 if name is None:
-                    raise ValueError("FASTA file does not start with a header line")
+                    raise ValueError(
+                        f"{path}: headerless FASTA: sequence data at line "
+                        f"{line_number} before any '>' header: {line[:40]!r}"
+                    )
                 chunks.append(line.strip())
         if name is not None:
             yield Sequence(name=name, bases="".join(chunks))

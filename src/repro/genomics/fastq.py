@@ -2,40 +2,65 @@
 
 from __future__ import annotations
 
-import gzip
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from typing import Iterable, Iterator
 
+from .opener import open_text as _open
 from .sequence import Read
 
 __all__ = ["read_fastq", "write_fastq", "iter_fastq"]
 
 
-def _open(path: str | Path, mode: str) -> TextIO:
-    path = Path(path)
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t")  # type: ignore[return-value]
-    return open(path, mode)
-
-
 def iter_fastq(path: str | Path) -> Iterator[Read]:
-    """Yield :class:`Read` records from a FASTQ file (optionally gzipped)."""
+    """Yield :class:`Read` records from a FASTQ file (optionally gzipped).
+
+    Malformed or truncated records raise :class:`ValueError` naming the file
+    and the 1-based record number, so a bad read in a multi-gigabyte stream
+    can be located without re-parsing.
+    """
+    path = Path(path)
     with _open(path, "r") as handle:
+        record = 0
         while True:
             header = handle.readline()
             if not header:
                 return
+            record += 1
             header = header.rstrip("\n")
             if not header.startswith("@"):
-                raise ValueError(f"malformed FASTQ header: {header!r}")
-            bases = handle.readline().rstrip("\n")
-            plus = handle.readline().rstrip("\n")
+                raise ValueError(
+                    f"{path}: FASTQ record {record}: header does not start "
+                    f"with '@': {header!r}"
+                )
+            bases_line = handle.readline()
+            plus_line = handle.readline()
+            quality_line = handle.readline()
+            fields = header[1:].split()
+            name = fields[0] if fields else "?"
+            if not bases_line or not plus_line or not quality_line:
+                raise ValueError(
+                    f"{path}: FASTQ record {record} ({name}) is truncated: "
+                    f"expected 4 lines (header/sequence/'+'/quality), "
+                    f"file ended early"
+                )
+            if not fields:
+                raise ValueError(
+                    f"{path}: FASTQ record {record}: header has no read name"
+                )
+            bases = bases_line.rstrip("\n")
+            plus = plus_line.rstrip("\n")
+            quality = quality_line.rstrip("\n")
             if not plus.startswith("+"):
-                raise ValueError("malformed FASTQ record: missing '+' separator")
-            quality = handle.readline().rstrip("\n")
+                raise ValueError(
+                    f"{path}: FASTQ record {record}: missing '+' separator "
+                    f"line, found {plus!r}"
+                )
             if len(quality) != len(bases):
-                raise ValueError("FASTQ quality length does not match sequence length")
-            yield Read(name=header[1:].split()[0], bases=bases, quality=quality)
+                raise ValueError(
+                    f"{path}: FASTQ record {record}: quality length "
+                    f"{len(quality)} does not match sequence length {len(bases)}"
+                )
+            yield Read(name=name, bases=bases, quality=quality)
 
 
 def read_fastq(path: str | Path) -> list[Read]:

@@ -1,0 +1,22 @@
+"""Shared text-file opener with transparent gzip support.
+
+Single home for the ``.gz`` rule used by the FASTA/FASTQ readers and the
+streaming pair sources, so compression handling cannot diverge between
+formats.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import TextIO
+
+__all__ = ["open_text"]
+
+
+def open_text(path: str | Path, mode: str) -> TextIO:
+    """Open ``path`` for text IO; ``.gz`` suffixed files go through gzip."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)

@@ -93,11 +93,25 @@ class MultiGpuDispatcher:
     @staticmethod
     def combined_kernel_time(shares: Sequence[DeviceShare]) -> float:
         """Multi-GPU kernel time = the slowest device's kernel time."""
-        return max((s.timing.kernel_s for s in shares), default=0.0)
+        return MultiGpuDispatcher.combined_kernel_time_from_timings(
+            [s.timing for s in shares]
+        )
 
     @staticmethod
     def combined_filter_time(shares: Sequence[DeviceShare]) -> float:
         """Host-perspective filter time: host phases serialise, kernels overlap."""
-        host_side = sum(s.timing.encode_s + s.timing.host_prep_s + s.timing.transfer_s for s in shares)
-        kernel = max((s.timing.kernel_s for s in shares), default=0.0)
-        return host_side / max(1, len(shares)) * 1.0 + kernel
+        return MultiGpuDispatcher.combined_filter_time_from_timings(
+            [s.timing for s in shares]
+        )
+
+    @staticmethod
+    def combined_kernel_time_from_timings(timings: Sequence[FilterTiming]) -> float:
+        """Kernel time of a set of per-device timings (the slowest device)."""
+        return max((t.kernel_s for t in timings), default=0.0)
+
+    @staticmethod
+    def combined_filter_time_from_timings(timings: Sequence[FilterTiming]) -> float:
+        """Filter time of a set of per-device timings (host phases amortised)."""
+        host_side = sum(t.encode_s + t.host_prep_s + t.transfer_s for t in timings)
+        kernel = MultiGpuDispatcher.combined_kernel_time_from_timings(timings)
+        return host_side / max(1, len(timings)) * 1.0 + kernel

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -31,8 +33,8 @@ from .stats import MappingStats, MappingTimes
 
 __all__ = ["MappingRunResult", "MrFastMapper"]
 
-#: Calibrated per-pair verification cost on the paper's host (seconds, 100 bp).
-VERIFICATION_COST_PER_PAIR_S = 314.0e-9
+#: Calibrated per-pair verification cost (single source: repro.core.pipeline).
+from ..core.pipeline import VERIFICATION_COST_PER_PAIR_S  # noqa: E402
 #: Modelled per-read seeding cost (hash lookups + candidate merging).
 SEEDING_COST_PER_READ_S = 2.0e-6
 #: Modelled per-pair host-side preprocessing cost of the GPU filter integration.
@@ -154,24 +156,41 @@ class MrFastMapper:
     # ------------------------------------------------------------------ #
     # Mapping
     # ------------------------------------------------------------------ #
-    def map_reads(self, reads: Sequence[Read | str]) -> MappingRunResult:
-        """Map a read set and report mappings, statistics and times."""
+    def map_reads(
+        self, reads: "Sequence[Read | str] | Iterable[Read | str] | str | Path"
+    ) -> MappingRunResult:
+        """Map a read set and report mappings, statistics and times.
+
+        ``reads`` may be a sequence of :class:`Read`/strings, any lazy
+        iterator of them, or a FASTQ/FASTA file path: iterators and paths are
+        consumed one batch (``max_reads_per_batch`` reads) at a time, so
+        arbitrarily large read files are mapped in bounded memory.
+        """
+        if isinstance(reads, (str, Path)):
+            from ..runtime.sources import iter_reads
+
+            reads = iter_reads(reads)
         stats = MappingStats()
         times = MappingTimes()
         records: list[SamRecord] = []
         wall_start = time.perf_counter()
 
-        read_objects = [
-            r if isinstance(r, Read) else Read(name=f"read_{i}", bases=r)
-            for i, r in enumerate(reads)
-        ]
-        stats.n_reads = len(read_objects)
+        read_iterator = iter(reads)
+        read_index = 0
         length_factor = 1.0
-        if read_objects:
-            length_factor = (len(read_objects[0].bases) / 100.0) ** 2
 
-        for batch_start in range(0, len(read_objects), self.max_reads_per_batch):
-            batch = read_objects[batch_start : batch_start + self.max_reads_per_batch]
+        while True:
+            raw_batch = list(islice(read_iterator, self.max_reads_per_batch))
+            if not raw_batch:
+                break
+            batch = [
+                r if isinstance(r, Read) else Read(name=f"read_{read_index + i}", bases=r)
+                for i, r in enumerate(raw_batch)
+            ]
+            if read_index == 0:
+                length_factor = (len(batch[0].bases) / 100.0) ** 2
+            read_index += len(batch)
+            stats.n_reads += len(batch)
 
             # --- Seeding: collect candidate pairs for the whole batch. ----- #
             pair_reads: list[str] = []

@@ -1,0 +1,123 @@
+"""Regenerate the golden streaming fixtures (run from the repo root).
+
+    PYTHONPATH=src python tests/data/regenerate_golden.py
+
+Produces, next to this script:
+
+* ``golden_reads.fastq``     — 40 simulated 48 bp reads off the golden genome;
+* ``golden_reference.fasta`` — the 1,500 bp genome (with one small N run);
+* ``golden_expected.json``   — the expected StreamingReport totals for two
+  filters and one cascade, plus fig5-style false-accept rows, all computed
+  from the checked-in files (not from the RNG), so refactors that change any
+  decision or modelled time fail ``tests/test_streaming_golden.py``.
+
+The FASTQ/FASTA files are only rewritten when regenerating on purpose; the
+expected JSON is recomputed from whatever files are on disk, so this script
+can also refresh the expectations after an *intentional* behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+
+READ_LENGTH = 48
+N_READS = 90
+GENOME_LENGTH = 3_000
+ERROR_THRESHOLD = 5
+SEEDING_K = 12
+CHUNK_SIZE = 32
+
+FILTER_SPECS: dict[str, object] = {
+    "gatekeeper-gpu": "gatekeeper-gpu",
+    "sneakysnake": "sneakysnake",
+    "cascade:gatekeeper-gpu+sneakysnake": ["gatekeeper-gpu", "sneakysnake"],
+}
+
+
+def write_input_files() -> None:
+    from repro.genomics import Sequence, write_fasta, write_fastq
+    from repro.simulate.genome import GenomeProfile, generate_reference
+    from repro.simulate.reads import simulate_reads
+
+    # A repetitive genome (segmental duplications + tandem repeats + one N
+    # island) so seeding proposes several candidates per read and boundary /
+    # undefined pairs occur, like a real candidate pool.
+    profile = GenomeProfile(
+        duplication_fraction=0.25,
+        duplication_length=300,
+        duplication_divergence=0.03,
+        tandem_repeat_fraction=0.05,
+        n_island_count=1,
+        n_island_length=20,
+    )
+    reference = generate_reference(GENOME_LENGTH, profile=profile, seed=7)
+    reads = simulate_reads(
+        reference, n_reads=N_READS, read_length=READ_LENGTH, seed=11
+    )
+    write_fasta(HERE / "golden_reference.fasta", [Sequence(reference.name, reference.bases)])
+    write_fastq(HERE / "golden_reads.fastq", reads)
+
+
+def expected_from_files() -> dict:
+    from repro.runtime import StreamingPipeline, load_reference, seeded_pairs
+    from repro.simulate.pairs import PairDataset
+    from repro.analysis import experiments
+
+    reference = load_reference(HERE / "golden_reference.fasta")
+    pairs = list(
+        seeded_pairs(
+            HERE / "golden_reads.fastq",
+            reference,
+            ERROR_THRESHOLD,
+            k=SEEDING_K,
+        )
+    )
+    dataset = PairDataset(
+        name="golden",
+        reads=[p[0] for p in pairs],
+        segments=[p[1] for p in pairs],
+        read_length=READ_LENGTH,
+    )
+
+    streaming: dict[str, dict] = {}
+    for label, spec in FILTER_SPECS.items():
+        report = StreamingPipeline(
+            spec, chunk_size=CHUNK_SIZE, error_threshold=ERROR_THRESHOLD
+        ).run_dataset(dataset)
+        streaming[label] = report.as_dict(include_chunks=False)
+
+    fig5_rows = experiments.filter_comparison_rows(
+        dataset, thresholds=(2, ERROR_THRESHOLD), max_pairs=None
+    )
+    return {
+        "fixture": {
+            "n_reads": N_READS,
+            "read_length": READ_LENGTH,
+            "reference_length": GENOME_LENGTH,
+            "error_threshold": ERROR_THRESHOLD,
+            "seeding_k": SEEDING_K,
+            "chunk_size": CHUNK_SIZE,
+            "n_pairs": dataset.n_pairs,
+            "n_undefined": dataset.n_undefined,
+        },
+        "streaming": streaming,
+        "fig5_rows": fig5_rows,
+    }
+
+
+def main() -> None:
+    if not (HERE / "golden_reads.fastq").exists():
+        write_input_files()
+    expected = expected_from_files()
+    out = HERE / "golden_expected.json"
+    out.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({expected['fixture']['n_pairs']} pairs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -96,6 +96,49 @@ class TestFastaFastq:
         with pytest.raises(ValueError):
             read_fastq(path)
 
+    def test_fastq_truncated_two_line_tail_names_file_and_record(self, tmp_path):
+        """A file ending header+sequence (no '+'/quality) is a truncation error."""
+        path = tmp_path / "truncated.fq"
+        path.write_text("@r1\nACGT\n+\nIIII\n@r2\nACGT\n")
+        with pytest.raises(ValueError, match=r"truncated\.fq.*record 2.*truncated"):
+            read_fastq(path)
+
+    def test_fastq_truncated_header_only_tail(self, tmp_path):
+        path = tmp_path / "tail.fq"
+        path.write_text("@r1\nACGT\n+\nIIII\n@r2\n")
+        with pytest.raises(ValueError, match=r"tail\.fq.*record 2"):
+            read_fastq(path)
+
+    def test_fastq_bad_header_names_file_and_record(self, tmp_path):
+        path = tmp_path / "header.fq"
+        path.write_text("@r1\nACGT\n+\nIIII\nr2\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError, match=r"header\.fq.*record 2.*'@'"):
+            read_fastq(path)
+
+    def test_fastq_quality_mismatch_names_file_and_record(self, tmp_path):
+        path = tmp_path / "qual.fq"
+        path.write_text("@r1\nACGT\n+\nII\n")
+        with pytest.raises(ValueError, match=r"qual\.fq.*record 1.*quality length 2"):
+            read_fastq(path)
+
+    def test_fastq_nameless_header_raises(self, tmp_path):
+        path = tmp_path / "noname.fq"
+        path.write_text("@\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError, match=r"noname\.fq.*record 1.*no read name"):
+            read_fastq(path)
+
+    def test_fasta_headerless_names_file_and_line(self, tmp_path):
+        path = tmp_path / "headerless.fa"
+        path.write_text("ACGTACGT\nACGT\n")
+        with pytest.raises(ValueError, match=r"headerless\.fa.*line 1.*'ACGTACGT'"):
+            read_fasta(path)
+
+    def test_fasta_nameless_header_names_record(self, tmp_path):
+        path = tmp_path / "noname.fa"
+        path.write_text(">\nACGT\n")
+        with pytest.raises(ValueError, match=r"noname\.fa.*record 1.*no sequence name"):
+            read_fasta(path)
+
 
 class TestReferenceGenome:
     def test_length_and_indexing(self):

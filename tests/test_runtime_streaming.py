@@ -1,0 +1,406 @@
+"""Property / equivalence tests for the streaming runtime.
+
+The core invariant: for any dataset, any registered filter and any chunk
+size, :class:`repro.runtime.StreamingPipeline` produces accept/reject
+vectors, aggregate counts and modelled-time totals identical to the
+in-memory :class:`repro.core.pipeline.FilteringPipeline` — including the
+single-read and empty-input edge cases, any device count, and pairs sourced
+from files instead of memory.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FilteringPipeline
+from repro.engine import FilterCascade, FilterEngine, available_filters
+from repro.gpusim.multi_gpu import MultiGpuDispatcher, split_evenly
+from repro.runtime import (
+    StreamingPipeline,
+    iter_reads,
+    pairs_from_dataset,
+    pairs_from_tsv,
+)
+from repro.simulate.pairs import PairProfile, generate_pair_dataset
+
+ERROR_THRESHOLD = 4
+READ_LENGTH = 40
+N_PAIRS = 61
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """A randomized mixed pool (genuine / repeat / spurious / undefined pairs)."""
+    profile = PairProfile(read_length=READ_LENGTH, undefined_fraction=0.05)
+    return generate_pair_dataset(N_PAIRS, profile, seed=17, name="prop")
+
+
+def assert_stream_equals_memory(stream_report, memory_report):
+    assert json.dumps(stream_report.summary(), sort_keys=True) == json.dumps(
+        memory_report.summary(), sort_keys=True
+    )
+    assert np.array_equal(
+        stream_report.accepted, memory_report.filter_result.accepted
+    )
+    assert np.array_equal(
+        stream_report.estimated_edits, memory_report.filter_result.estimated_edits
+    )
+    assert np.array_equal(
+        stream_report.undefined, memory_report.filter_result.undefined
+    )
+    assert stream_report.verified_accepts == memory_report.verified_accepts
+    assert stream_report.verified_rejects == memory_report.verified_rejects
+
+
+class TestChunkSizeEquivalence:
+    @pytest.mark.parametrize("filter_name", available_filters())
+    @pytest.mark.parametrize("chunk_size", [1, 7, N_PAIRS, N_PAIRS + 13])
+    def test_every_filter_every_chunk_size(self, dataset, filter_name, chunk_size):
+        memory = FilteringPipeline(filter_name, error_threshold=ERROR_THRESHOLD).run(
+            dataset
+        )
+        stream = StreamingPipeline(
+            filter_name, chunk_size=chunk_size, error_threshold=ERROR_THRESHOLD
+        ).run_dataset(dataset)
+        assert_stream_equals_memory(stream, memory)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, N_PAIRS, N_PAIRS + 13])
+    def test_cascade_every_chunk_size(self, dataset, chunk_size):
+        names = ["gatekeeper-gpu", "magnet"]
+        cascade = FilterCascade.from_names(
+            names, read_length=READ_LENGTH, error_threshold=ERROR_THRESHOLD
+        )
+        memory = FilteringPipeline(cascade).run(dataset)
+        stream = StreamingPipeline(
+            names, chunk_size=chunk_size, error_threshold=ERROR_THRESHOLD
+        ).run_dataset(dataset)
+        assert_stream_equals_memory(stream, memory)
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_randomized_datasets(self, seed):
+        local = generate_pair_dataset(
+            23, PairProfile(read_length=28), seed=seed, name=f"rand{seed}"
+        )
+        memory = FilteringPipeline("shouji", error_threshold=3).run(local)
+        stream = StreamingPipeline(
+            "shouji", chunk_size=5, error_threshold=3
+        ).run_dataset(local)
+        assert_stream_equals_memory(stream, memory)
+
+
+class TestEdgeCases:
+    def test_empty_input_yields_zero_report(self):
+        report = StreamingPipeline("shouji", error_threshold=3).run_pairs(
+            iter([]), name="empty"
+        )
+        assert report.filter_name == "Shouji"
+        assert report.n_devices == 1
+        assert report.n_pairs == 0
+        assert report.n_chunks == 0
+        assert report.n_accepted == 0
+        assert report.kernel_time_s == 0.0
+        assert report.filter_time_s == 0.0
+        assert report.serial_time_s == 0.0
+        assert report.overlapped_time_s == 0.0
+        assert report.accepted is not None and report.accepted.size == 0
+        summary = report.summary()
+        assert summary["n_pairs"] == 0
+        assert summary["verification_pairs"] == 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 4])
+    def test_single_pair(self, chunk_size):
+        single = generate_pair_dataset(
+            1, PairProfile(read_length=24), seed=2, name="single"
+        )
+        memory = FilteringPipeline("gatekeeper-gpu", error_threshold=2).run(single)
+        stream = StreamingPipeline(
+            "gatekeeper-gpu", chunk_size=chunk_size, error_threshold=2
+        ).run_dataset(single)
+        assert_stream_equals_memory(stream, memory)
+        assert stream.n_chunks == 1
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StreamingPipeline("shouji", chunk_size=0, error_threshold=3)
+
+    def test_threshold_required_for_name_specs(self):
+        with pytest.raises(ValueError):
+            StreamingPipeline("shouji")
+
+    def test_verify_false_skips_verification_but_keeps_model_times(self, dataset):
+        memory = FilteringPipeline("sneakysnake", error_threshold=ERROR_THRESHOLD).run(
+            dataset, verify=False
+        )
+        stream = StreamingPipeline(
+            "sneakysnake", chunk_size=16, error_threshold=ERROR_THRESHOLD
+        ).run_dataset(dataset, verify=False)
+        assert stream.verified_accepts == 0 == memory.verified_accepts
+        assert json.dumps(stream.summary(), sort_keys=True) == json.dumps(
+            memory.summary(), sort_keys=True
+        )
+        assert stream.verification_time_s > 0.0
+
+
+class TestMultiGpuInvariance:
+    @pytest.mark.parametrize("n_devices", [1, 2, 3])
+    def test_decisions_independent_of_devices(self, dataset, n_devices):
+        baseline = StreamingPipeline(
+            FilterEngine(
+                "gatekeeper-gpu",
+                read_length=READ_LENGTH,
+                error_threshold=ERROR_THRESHOLD,
+                n_devices=1,
+            ),
+            chunk_size=16,
+        ).run_dataset(dataset)
+        report = StreamingPipeline(
+            FilterEngine(
+                "gatekeeper-gpu",
+                read_length=READ_LENGTH,
+                error_threshold=ERROR_THRESHOLD,
+                n_devices=n_devices,
+            ),
+            chunk_size=16,
+        ).run_dataset(dataset)
+        assert np.array_equal(report.accepted, baseline.accepted)
+        assert np.array_equal(report.estimated_edits, baseline.estimated_edits)
+        assert report.n_accepted == baseline.n_accepted
+        assert report.verified_accepts == baseline.verified_accepts
+        assert report.n_devices == n_devices
+
+    @pytest.mark.parametrize("n_devices", [1, 2, 3])
+    def test_equivalence_holds_per_device_count(self, dataset, n_devices):
+        engine_kwargs = dict(
+            read_length=READ_LENGTH,
+            error_threshold=ERROR_THRESHOLD,
+            n_devices=n_devices,
+        )
+        memory = FilteringPipeline(FilterEngine("shd", **engine_kwargs)).run(dataset)
+        stream = StreamingPipeline(
+            FilterEngine("shd", **engine_kwargs), chunk_size=16
+        ).run_dataset(dataset)
+        assert_stream_equals_memory(stream, memory)
+
+    @pytest.mark.parametrize("n_devices", [1, 2, 3, 5])
+    def test_overlapped_wall_time_at_most_serial(self, dataset, n_devices):
+        report = StreamingPipeline(
+            FilterEngine(
+                "gatekeeper-gpu",
+                read_length=READ_LENGTH,
+                error_threshold=ERROR_THRESHOLD,
+                n_devices=n_devices,
+            ),
+            chunk_size=16,
+        ).run_dataset(dataset)
+        assert report.overlapped_time_s <= report.serial_time_s + 1e-18
+        if n_devices > 1:
+            assert report.overlapped_time_s < report.serial_time_s
+            assert report.overlap_speedup > 1.0
+
+    def test_more_devices_than_pairs_in_a_chunk(self):
+        tiny = generate_pair_dataset(
+            2, PairProfile(read_length=24), seed=9, name="tiny"
+        )
+        report = StreamingPipeline(
+            FilterEngine(
+                "gatekeeper-gpu", read_length=24, error_threshold=2, n_devices=5
+            ),
+            chunk_size=8,
+        ).run_dataset(tiny)
+        assert report.n_pairs == 2
+        memory = FilteringPipeline(
+            FilterEngine("gatekeeper-gpu", read_length=24, error_threshold=2, n_devices=5)
+        ).run(tiny)
+        assert json.dumps(report.summary(), sort_keys=True) == json.dumps(
+            memory.summary(), sort_keys=True
+        )
+
+    def test_chunk_modelled_kernel_is_slowest_device_not_sum(self, dataset):
+        """Per-chunk kernel time follows the multi-GPU convention (max)."""
+        engine = FilterEngine(
+            "gatekeeper-gpu",
+            read_length=READ_LENGTH,
+            error_threshold=ERROR_THRESHOLD,
+            n_devices=2,
+        )
+        report = StreamingPipeline(engine, chunk_size=16).run_dataset(dataset)
+        for chunk in report.chunks:
+            shares = split_evenly(chunk.n_pairs, 2)
+            expected = max(
+                engine.timing_model.filter_timing(
+                    s.stop - s.start,
+                    READ_LENGTH,
+                    ERROR_THRESHOLD,
+                    encode_on_device=True,
+                    n_devices=1,
+                ).kernel_s
+                for s in shares
+            )
+            assert chunk.modelled_kernel_s == pytest.approx(expected)
+
+    def test_empty_input_reports_configured_engine_metadata(self):
+        engine = FilterEngine(
+            "gatekeeper-gpu", read_length=24, error_threshold=2, n_devices=4
+        )
+        report = StreamingPipeline(engine).run_pairs(iter([]), name="empty")
+        assert report.filter_name == "GateKeeper-GPU"
+        assert report.n_devices == 4
+        lazy = StreamingPipeline(
+            ["gatekeeper-gpu", "sneakysnake"],
+            error_threshold=2,
+            engine_kwargs=dict(n_devices=3),
+        ).run_pairs(iter([]), name="empty")
+        assert lazy.filter_name == "GateKeeper-GPU -> SneakySnake"
+        assert lazy.n_devices == 3
+
+    def test_max_chunk_reports_caps_rows_but_counts_all_chunks(self, dataset):
+        report = StreamingPipeline(
+            "shouji",
+            chunk_size=8,
+            error_threshold=ERROR_THRESHOLD,
+            max_chunk_reports=2,
+        ).run_dataset(dataset)
+        assert len(report.chunks) == 2
+        assert report.n_chunks == -(-N_PAIRS // 8)
+        assert report.n_chunks > len(report.chunks)
+
+    def test_collect_chunk_reports_false_keeps_totals(self, dataset):
+        default = StreamingPipeline(
+            "shouji", chunk_size=16, error_threshold=ERROR_THRESHOLD
+        ).run_dataset(dataset)
+        bounded = StreamingPipeline(
+            "shouji",
+            chunk_size=16,
+            error_threshold=ERROR_THRESHOLD,
+            collect_decisions=False,
+            collect_chunk_reports=False,
+        ).run_dataset(dataset)
+        assert bounded.chunks == []
+        assert bounded.n_chunks == default.n_chunks > 0
+        assert bounded.summary() == default.summary()
+        assert bounded.serial_time_s == default.serial_time_s
+        assert bounded.overlapped_time_s == default.overlapped_time_s
+
+    def test_split_evenly_with_fewer_items_than_devices(self):
+        slices = split_evenly(2, 5)
+        assert len(slices) == 5
+        sizes = [s.stop - s.start for s in slices]
+        assert sum(sizes) == 2
+        assert all(size >= 0 for size in sizes)
+        # Contiguous, ordered cover of range(2).
+        covered = [i for s in slices for i in range(s.start, s.stop)]
+        assert covered == [0, 1]
+
+    def test_dispatcher_handles_empty_shares(self):
+        engine = FilterEngine("gatekeeper-gpu", read_length=24, error_threshold=2)
+        dispatcher = MultiGpuDispatcher([engine.config.primary_device] * 4)
+        seen = []
+        shares = dispatcher.dispatch(
+            2, lambda sl, idx: seen.append((sl.stop - sl.start, idx)), 24, 2
+        )
+        assert len(shares) == 4
+        assert sum(s.n_items for s in shares) == 2
+
+
+class TestFileSources:
+    def test_pairs_tsv_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "pairs.tsv"
+        with open(path, "w") as fh:
+            fh.write("# read\tsegment\n")
+            for read, segment in pairs_from_dataset(dataset):
+                fh.write(f"{read}\t{segment}\n")
+        from_file = list(pairs_from_tsv(path))
+        assert from_file == list(pairs_from_dataset(dataset))
+
+    def test_pairs_tsv_malformed_line_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("ACGT\tACGT\nACGT\n")
+        with pytest.raises(ValueError, match=r"bad\.tsv.*line 2"):
+            list(pairs_from_tsv(path))
+
+    def test_run_file_read_suffix_without_reference_is_a_clear_error(self, tmp_path):
+        from repro.genomics import Read, write_fastq
+
+        path = tmp_path / "reads.fastq"
+        write_fastq(path, [Read(name="a", bases="ACGT")])
+        with pytest.raises(ValueError, match="reference FASTA"):
+            StreamingPipeline("shouji", error_threshold=3).run_file(path)
+
+    def test_as_dict_is_strict_json_even_with_infinite_speedups(self):
+        report = StreamingPipeline("shouji", error_threshold=3).run_pairs(
+            iter([]), name="empty"
+        )
+        assert report.summary()["verification_speedup"] == float("inf")
+        payload = report.as_dict()
+        # allow_nan=False raises on inf/nan, so this proves RFC-8259 output.
+        json.dumps(payload, allow_nan=False)
+        assert payload["summary"]["verification_speedup"] is None
+
+    def test_iter_reads_detects_fastq_and_fasta(self, tmp_path):
+        from repro.genomics import Read, Sequence, write_fasta, write_fastq
+
+        fq = tmp_path / "r.fastq"
+        write_fastq(fq, [Read(name="a", bases="ACGT")])
+        fa = tmp_path / "r.fa"
+        write_fasta(fa, [Sequence(name="b", bases="GGTT")])
+        assert [r.name for r in iter_reads(fq)] == ["a"]
+        assert [r.bases for r in iter_reads(fa)] == ["GGTT"]
+        with pytest.raises(ValueError, match="unrecognised"):
+            list(iter_reads(tmp_path / "r.bam"))
+
+    def test_filtering_pipeline_accepts_path_and_iterator(self, dataset, tmp_path):
+        path = tmp_path / "pairs.tsv"
+        with open(path, "w") as fh:
+            for read, segment in pairs_from_dataset(dataset):
+                fh.write(f"{read}\t{segment}\n")
+        pipeline = FilteringPipeline("shouji", error_threshold=ERROR_THRESHOLD)
+        in_memory = pipeline.run(dataset)
+        from_path = FilteringPipeline("shouji", error_threshold=ERROR_THRESHOLD).run(
+            str(path), chunk_size=16
+        )
+        from_iterator = FilteringPipeline("shouji", error_threshold=ERROR_THRESHOLD).run(
+            pairs_from_dataset(dataset), chunk_size=16
+        )
+        bounded = FilteringPipeline("shouji", error_threshold=ERROR_THRESHOLD).run(
+            str(path), chunk_size=16, collect_decisions=False
+        )
+        assert bounded.accepted is None
+        assert bounded.n_pairs == dataset.n_pairs
+        for streamed in (from_path, from_iterator):
+            assert streamed.n_pairs == dataset.n_pairs
+            assert np.array_equal(
+                streamed.accepted, in_memory.filter_result.accepted
+            )
+            memory_summary = {
+                k: v for k, v in in_memory.summary().items() if k != "dataset"
+            }
+            stream_summary = {
+                k: v for k, v in streamed.summary().items() if k != "dataset"
+            }
+            assert json.dumps(stream_summary, sort_keys=True) == json.dumps(
+                memory_summary, sort_keys=True
+            )
+
+    def test_mapper_accepts_fastq_path(self, tmp_path):
+        from repro.genomics import write_fastq
+        from repro.genomics.reference import ReferenceGenome
+        from repro.mapper.mrfast import MrFastMapper
+        from repro.simulate.genome import generate_reference
+        from repro.simulate.reads import simulate_reads
+
+        reference = generate_reference(800, seed=3)
+        reads = simulate_reads(reference, n_reads=12, read_length=30, seed=4)
+        path = tmp_path / "reads.fastq"
+        write_fastq(path, reads)
+
+        from_list = MrFastMapper(reference, error_threshold=3).map_reads(reads)
+        from_path = MrFastMapper(reference, error_threshold=3).map_reads(str(path))
+        assert from_path.stats.n_reads == 12
+        assert from_path.stats.summary() == from_list.stats.summary()
+        from_iterator = MrFastMapper(reference, error_threshold=3).map_reads(
+            iter(reads)
+        )
+        assert from_iterator.stats.summary() == from_list.stats.summary()

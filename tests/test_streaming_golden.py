@@ -1,0 +1,203 @@
+"""Golden regression harness for the streaming runtime.
+
+The FASTQ/FASTA fixture pair under ``tests/data/`` and the committed
+``golden_expected.json`` pin the exact behaviour of the streaming pipeline on
+a real (checked-in) input: seeded candidate-pair counts, per-filter
+StreamingReport totals (decisions *and* modelled times), fig5-style
+false-accept rows, and the byte-identity between the streaming and in-memory
+pipelines.  Any refactor that silently changes a decision, a count or a
+modelled time fails here first.
+
+Regenerate the expectations after an intentional behaviour change with
+``PYTHONPATH=src python tests/data/regenerate_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.core.pipeline import FilteringPipeline
+from repro.engine import FilterCascade
+from repro.runtime import StreamingPipeline, load_reference, seeded_pairs
+from repro.simulate.pairs import PairDataset
+
+DATA = Path(__file__).resolve().parent / "data"
+GOLDEN = json.loads((DATA / "golden_expected.json").read_text())
+FIXTURE = GOLDEN["fixture"]
+
+FILTER_SPECS = {
+    "gatekeeper-gpu": "gatekeeper-gpu",
+    "sneakysnake": "sneakysnake",
+    "cascade:gatekeeper-gpu+sneakysnake": ["gatekeeper-gpu", "sneakysnake"],
+}
+
+
+def _json_roundtrip(obj):
+    """Normalise through JSON so the comparison is exactly what the file stores."""
+    return json.loads(json.dumps(obj))
+
+
+@pytest.fixture(scope="module")
+def golden_dataset() -> PairDataset:
+    """The candidate-pair pool seeded from the checked-in FASTQ + FASTA."""
+    reference = load_reference(DATA / "golden_reference.fasta")
+    pairs = list(
+        seeded_pairs(
+            DATA / "golden_reads.fastq",
+            reference,
+            FIXTURE["error_threshold"],
+            k=FIXTURE["seeding_k"],
+        )
+    )
+    return PairDataset(
+        name="golden",
+        reads=[p[0] for p in pairs],
+        segments=[p[1] for p in pairs],
+        read_length=FIXTURE["read_length"],
+    )
+
+
+class TestGoldenFixture:
+    def test_seeded_pair_pool_matches_golden(self, golden_dataset):
+        assert golden_dataset.n_pairs == FIXTURE["n_pairs"]
+        assert golden_dataset.n_undefined == FIXTURE["n_undefined"]
+        assert all(len(r) == FIXTURE["read_length"] for r in golden_dataset.reads)
+
+    @pytest.mark.parametrize("label", sorted(FILTER_SPECS))
+    def test_streaming_report_matches_golden(self, golden_dataset, label):
+        report = StreamingPipeline(
+            FILTER_SPECS[label],
+            chunk_size=FIXTURE["chunk_size"],
+            error_threshold=FIXTURE["error_threshold"],
+        ).run_dataset(golden_dataset)
+        assert _json_roundtrip(report.as_dict(include_chunks=False)) == (
+            GOLDEN["streaming"][label]
+        )
+
+    def test_fig5_rows_match_golden(self, golden_dataset):
+        rows = experiments.filter_comparison_rows(
+            golden_dataset,
+            thresholds=(2, FIXTURE["error_threshold"]),
+            max_pairs=None,
+        )
+        assert _json_roundtrip(rows) == GOLDEN["fig5_rows"]
+
+
+class TestStreamingInMemoryByteIdentity:
+    """The ISSUE's acceptance criterion: streaming totals are JSON-equal to
+    ``FilteringPipeline.run`` on the fully materialised same data, for two
+    filters and a cascade."""
+
+    @pytest.mark.parametrize("label", sorted(FILTER_SPECS))
+    def test_totals_byte_identical(self, golden_dataset, label):
+        spec = FILTER_SPECS[label]
+        if isinstance(spec, list):
+            engine = FilterCascade.from_names(
+                spec,
+                read_length=golden_dataset.read_length,
+                error_threshold=FIXTURE["error_threshold"],
+            )
+            in_memory = FilteringPipeline(engine).run(golden_dataset)
+        else:
+            in_memory = FilteringPipeline(
+                spec, error_threshold=FIXTURE["error_threshold"]
+            ).run(golden_dataset)
+        streamed = StreamingPipeline(
+            spec,
+            chunk_size=FIXTURE["chunk_size"],
+            error_threshold=FIXTURE["error_threshold"],
+        ).run_dataset(golden_dataset)
+        assert json.dumps(streamed.summary(), sort_keys=True) == json.dumps(
+            in_memory.summary(), sort_keys=True
+        )
+        assert np.array_equal(streamed.accepted, in_memory.filter_result.accepted)
+        assert np.array_equal(
+            streamed.estimated_edits, in_memory.filter_result.estimated_edits
+        )
+        assert streamed.verified_accepts == in_memory.verified_accepts
+        assert streamed.verified_rejects == in_memory.verified_rejects
+
+    def test_bounded_memory_mode_keeps_no_vectors(self, golden_dataset):
+        report = StreamingPipeline(
+            "gatekeeper-gpu",
+            chunk_size=FIXTURE["chunk_size"],
+            error_threshold=FIXTURE["error_threshold"],
+            collect_decisions=False,
+        ).run_dataset(golden_dataset)
+        assert report.accepted is None
+        assert report.estimated_edits is None
+        assert report.n_pairs == FIXTURE["n_pairs"]
+        assert (
+            report.summary()
+            == GOLDEN["streaming"]["gatekeeper-gpu"]["summary"]
+            or _json_roundtrip(report.summary())
+            == GOLDEN["streaming"]["gatekeeper-gpu"]["summary"]
+        )
+
+    def test_chunking_covers_all_pairs(self, golden_dataset):
+        chunk = FIXTURE["chunk_size"]
+        report = StreamingPipeline(
+            "gatekeeper-gpu", chunk_size=chunk, error_threshold=FIXTURE["error_threshold"]
+        ).run_dataset(golden_dataset)
+        assert report.n_chunks == -(-golden_dataset.n_pairs // chunk)
+        assert sum(c.n_pairs for c in report.chunks) == golden_dataset.n_pairs
+        assert max(c.n_pairs for c in report.chunks) <= chunk
+
+
+class TestStreamCli:
+    """``repro-stream`` end-to-end on the checked-in fixture."""
+
+    def test_cli_json_totals_match_in_memory(self, golden_dataset, capsys):
+        from repro.cli import stream_main
+
+        exit_code = stream_main(
+            [
+                "--input",
+                str(DATA / "golden_reads.fastq"),
+                "--reference",
+                str(DATA / "golden_reference.fasta"),
+                "--filter",
+                "sneakysnake",
+                "--error-threshold",
+                str(FIXTURE["error_threshold"]),
+                "--chunk-size",
+                str(FIXTURE["chunk_size"]),
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        in_memory = FilteringPipeline(
+            "sneakysnake", error_threshold=FIXTURE["error_threshold"]
+        ).run(golden_dataset)
+        expected = _json_roundtrip(in_memory.summary())
+        expected["dataset"] = "golden_reads.fastq"  # CLI names the run after the file
+        assert payload["summary"] == expected
+
+    def test_cli_cascade_table_output(self, capsys):
+        from repro.cli import stream_main
+
+        exit_code = stream_main(
+            [
+                "--input",
+                str(DATA / "golden_reads.fastq"),
+                "--reference",
+                str(DATA / "golden_reference.fasta"),
+                "--cascade",
+                "gatekeeper-gpu,sneakysnake",
+                "--chunk-size",
+                "64",
+                "--devices",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "GateKeeper-GPU -> SneakySnake" in out
+        assert "Streaming execution" in out
+        assert "Per-chunk accounting" in out
