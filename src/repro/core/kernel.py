@@ -10,21 +10,30 @@ vectorised over all pairs of a batch:
 1. (device encoding only) pack the per-base codes into words;
 2. shift the read word-array by ``k`` bases with carry-bit transfer;
 3. XOR with the reference word-array (Hamming / shifted masks);
-4. OR-fold each 2-bit group into a per-base difference bit;
+4. OR-fold each 2-bit group into the per-base difference lane;
 5. amend short zero streaks, force the vacated edge bits to 1
    (the GateKeeper-GPU improvement), AND all masks and count edits.
 
-Steps 4-5 re-use the per-base helpers of :mod:`repro.filters.batch`; the
-property tests verify that the word-level pipeline produces bit-identical
-masks to the per-base reference implementation.
+Steps 3-5 stay entirely in the packed ``uint64`` lane representation
+(:mod:`repro.filters.packed`) — no per-base array is ever materialised, which
+is what makes each filtration a handful of bit-parallel word operations, as
+the paper's design intends.  The property tests verify that this packed
+pipeline produces decisions and estimates bit-identical to the per-base
+reference implementation (:mod:`repro.filters.bitvector`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..filters.batch import BatchFilterOutput, amend_masks_batch
+from ..filters.batch import BatchFilterOutput
 from ..filters.masks import EdgePolicy
+from ..filters.packed import (
+    amend_lanes,
+    count_lane_windows,
+    lane_span_mask,
+    shifted_mismatch_lanes,
+)
 from ..genomics.encoding import BASES_PER_WORD_64, pack_codes_to_words
 from .config import EncodingActor
 
@@ -125,56 +134,41 @@ def run_gatekeeper_kernel(
 ) -> BatchFilterOutput:
     """Run the GateKeeper-GPU filtration kernel on a batch of encoded pairs.
 
-    This is the word-level path: masks are produced by shifting the read's
-    word array with carry transfers and XORing against the reference words,
-    which mirrors the CUDA kernel's arithmetic.  The decision semantics are
-    identical to :func:`repro.filters.batch.gatekeeper_batch`.
+    This is the word-level path: every mask is produced, amended, edge-forced
+    and ANDed in the packed ``uint64`` lane representation, mirroring the CUDA
+    kernel's arithmetic (shift with carry transfer, XOR, OR-fold, popcount-
+    style window counting).  The decision semantics are identical to
+    :func:`repro.filters.batch.gatekeeper_batch`.
     """
     if read_words.shape != ref_words.shape:
         raise ValueError("read and reference word arrays must have the same shape")
-    n_pairs = read_words.shape[0]
+    n_pairs, n_words = read_words.shape
     e = int(error_threshold)
     shifts = [0] + [s for k in range(1, e + 1) for s in (k, -k)]
+    valid = lane_span_mask(0, length, n_words)
 
-    masks = np.empty((len(shifts), n_pairs, length), dtype=np.uint8)
+    masks = np.empty((len(shifts), n_pairs, n_words), dtype=np.uint64)
+    vacated_spans: list[np.ndarray | None] = []
     for row, shift in enumerate(shifts):
-        if shift == 0:
-            shifted = read_words
-        elif shift > 0:
-            shifted = shift_words_right(read_words, shift)
-        else:
-            shifted = shift_words_left(read_words, -shift)
-        folded = fold_words_to_base_mask(xor_words(shifted, ref_words), length)
         # Vacated positions carry garbage comparisons (shifted-in zero bits vs
-        # reference); normalise them to the raw-mask convention (0) before
-        # amendment, exactly as the scalar reference implementation does.
-        k = abs(shift)
-        if shift > 0:
-            folded[:, : min(k, length)] = 0
-        elif shift < 0:
-            folded[:, max(0, length - k):] = 0
-        masks[row] = folded
+        # reference); vacant_value=0 normalises them to the raw-mask
+        # convention before amendment, exactly as the scalar reference does.
+        masks[row], vacated = shifted_mismatch_lanes(
+            read_words, ref_words, shift, length, vacant_value=0, valid=valid
+        )
+        vacated_spans.append(vacated)
 
-    masks = amend_masks_batch(masks, max_zero_run=max_zero_run)
+    # One amendment pass over the whole (2e+1, n_pairs, n_words) mask stack —
+    # the streak repair is positionally local, so stacking the masks costs
+    # nothing semantically and collapses 2e+1 kernel invocations into one.
+    masks = amend_lanes(masks, valid, max_zero_run=max_zero_run)
     if edge_policy == EdgePolicy.ONE:
-        for row, shift in enumerate(shifts):
-            if shift == 0:
-                continue
-            k = min(abs(shift), length)
-            if shift > 0:
-                masks[row, :, :k] = 1
-            else:
-                masks[row, :, length - k :] = 1
+        for row, vacated in enumerate(vacated_spans):
+            if vacated is not None:
+                masks[row] |= vacated
     final = np.bitwise_and.reduce(masks, axis=0)
 
-    n_windows = -(-length // count_window)
-    padded = np.zeros((n_pairs, n_windows * count_window), dtype=np.uint8)
-    padded[:, :length] = final
-    estimates = (
-        np.any(padded.reshape(n_pairs, n_windows, count_window), axis=2)
-        .sum(axis=1)
-        .astype(np.int32)
-    )
+    estimates = count_lane_windows(final, length, window=count_window)
 
     if undefined is None:
         undefined = np.zeros(n_pairs, dtype=bool)

@@ -1,10 +1,14 @@
 """Preprocessing: batching and (host- or device-side) encoding (paper Section 3.3).
 
 Reads and candidate segments are gathered into batches sized by the system
-configuration.  With host encoding, the 2-bit word packing happens here and
-the compact words travel to the device; with device encoding, raw sequences
-are staged and the kernel encodes them (more parallel, more transfer bytes).
-Pairs containing ``N`` are flagged *undefined* and bypass filtration.
+configuration.  Since the encode-once redesign the sequences arrive as an
+:class:`~repro.genomics.encoding.EncodedPairBatch` built exactly once at
+ingest; a :class:`PreparedBatch` is a zero-copy row-slice view of that parent
+batch, so neither strings nor code arrays are ever rebuilt per batch.  The
+host/device encoding-actor distinction is preserved for the analytic timing
+model (who pays for the 2-bit packing and how many bytes travel), with the
+functional packing performed once per pair either way.  Pairs containing
+``N`` are flagged *undefined* and bypass filtration.
 """
 
 from __future__ import annotations
@@ -14,61 +18,79 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..genomics.encoding import encode_batch_codes, pack_codes_to_words
+from ..genomics.encoding import EncodedPairBatch, encode_batch_codes
 from .config import EncodingActor, SystemConfiguration
 
-__all__ = ["PreparedBatch", "prepare_batches", "encode_pair_arrays"]
+__all__ = [
+    "PreparedBatch",
+    "prepare_batches",
+    "prepare_batches_encoded",
+    "encode_pair_arrays",
+]
 
 
 @dataclass
 class PreparedBatch:
     """One batch of pairs staged for a kernel call.
 
-    ``read_codes`` / ``ref_codes`` are per-base code arrays (always present —
-    they are the functional payload).  ``read_words`` / ``ref_words`` are the
-    packed word arrays and are only populated when the host performed the
-    encoding; with device encoding the kernel derives them itself.
+    A view of ``pairs.n_pairs`` rows of the parent
+    :class:`~repro.genomics.encoding.EncodedPairBatch` starting at ``start``.
+    ``read_codes`` / ``ref_codes`` are the per-base code arrays;
+    ``read_words`` / ``ref_words`` are the packed word arrays, materialised
+    lazily by the parent batch (and therefore at most once per pair).
+    ``host_encoded`` records who the timing model bills for the packing.
     """
 
     start: int
-    read_codes: np.ndarray
-    ref_codes: np.ndarray
-    undefined: np.ndarray
-    read_words: np.ndarray | None = None
-    ref_words: np.ndarray | None = None
+    pairs: EncodedPairBatch
+    host_encoded: bool = False
 
     @property
     def n_pairs(self) -> int:
-        return int(self.read_codes.shape[0])
+        return self.pairs.n_pairs
 
     @property
-    def host_encoded(self) -> bool:
-        return self.read_words is not None
+    def read_codes(self) -> np.ndarray:
+        return self.pairs.read_codes
+
+    @property
+    def ref_codes(self) -> np.ndarray:
+        return self.pairs.ref_codes
+
+    @property
+    def undefined(self) -> np.ndarray:
+        return self.pairs.undefined
+
+    @property
+    def read_words(self) -> np.ndarray:
+        return self.pairs.read_words
+
+    @property
+    def ref_words(self) -> np.ndarray:
+        return self.pairs.ref_words
 
 
 def encode_pair_arrays(
     reads: Sequence[str], segments: Sequence[str]
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Encode reads and segments to code arrays plus a combined undefined mask."""
-    read_codes, read_undef = encode_batch_codes(list(reads))
-    ref_codes, ref_undef = encode_batch_codes(list(segments))
+    read_codes, read_undef = encode_batch_codes(reads)
+    ref_codes, ref_undef = encode_batch_codes(segments)
     return read_codes, ref_codes, (read_undef | ref_undef)
 
 
-def prepare_batches(
-    reads: Sequence[str],
-    segments: Sequence[str],
+def prepare_batches_encoded(
+    pairs: EncodedPairBatch,
     config: SystemConfiguration,
     batch_size: int | None = None,
 ) -> Iterator[PreparedBatch]:
-    """Yield :class:`PreparedBatch` objects covering all pairs in order.
+    """Yield :class:`PreparedBatch` views covering all pairs in order.
 
     ``batch_size`` defaults to the configuration's batch size for the full
-    work list (bounded by device memory and by ``max_reads_per_batch``).
+    work list (bounded by device memory and by ``max_reads_per_batch``).  No
+    encoding happens here: every batch is a row-slice view of ``pairs``.
     """
-    if len(reads) != len(segments):
-        raise ValueError("reads and segments must have the same length")
-    n = len(reads)
+    n = pairs.n_pairs
     if n == 0:
         return
     if batch_size is None:
@@ -77,19 +99,29 @@ def prepare_batches(
             config.max_reads_per_batch,
         )
     batch_size = max(1, batch_size)
+    host_encoded = config.encoding is EncodingActor.HOST
+    if host_encoded:
+        # Host encoding packs the whole staged share up front; touching the
+        # lazy word arrays here makes every batch view below zero-copy.
+        pairs.read_words
+        pairs.ref_words
     for start in range(0, n, batch_size):
-        chunk_reads = list(reads[start : start + batch_size])
-        chunk_segments = list(segments[start : start + batch_size])
-        read_codes, ref_codes, undefined = encode_pair_arrays(chunk_reads, chunk_segments)
-        read_words = ref_words = None
-        if config.encoding is EncodingActor.HOST:
-            read_words = pack_codes_to_words(read_codes, word_bits=config.word_bits)
-            ref_words = pack_codes_to_words(ref_codes, word_bits=config.word_bits)
         yield PreparedBatch(
             start=start,
-            read_codes=read_codes,
-            ref_codes=ref_codes,
-            undefined=undefined,
-            read_words=read_words,
-            ref_words=ref_words,
+            pairs=pairs[start : start + batch_size],
+            host_encoded=host_encoded,
         )
+
+
+def prepare_batches(
+    reads: Sequence[str],
+    segments: Sequence[str],
+    config: SystemConfiguration,
+    batch_size: int | None = None,
+) -> Iterator[PreparedBatch]:
+    """String-list adapter over :func:`prepare_batches_encoded` (encodes once)."""
+    if len(reads) != len(segments):
+        raise ValueError("reads and segments must have the same length")
+    return prepare_batches_encoded(
+        EncodedPairBatch.from_lists(reads, segments), config, batch_size=batch_size
+    )

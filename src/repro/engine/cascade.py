@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.config import EncodingActor
 from ..core.results import FilterRunResult
+from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.timing import FilterTiming
 from .engine import FilterEngine
 
@@ -133,17 +134,18 @@ class FilterCascade:
     # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
-    def filter_lists(
-        self, reads: Sequence[str], segments: Sequence[str]
-    ) -> CascadeRunResult:
-        """Filter parallel lists through every stage, survivors only."""
-        if len(reads) != len(segments):
-            raise ValueError("reads and segments must have the same length")
-        n = len(reads)
+    def filter_encoded(self, pairs: EncodedPairBatch) -> CascadeRunResult:
+        """Filter an already-encoded pair batch through every stage.
+
+        Each stage only sees the survivors of every earlier stage, selected by
+        pure index selection on the parent
+        :class:`~repro.genomics.encoding.EncodedPairBatch` — survivor string
+        lists are never rebuilt and nothing is ever re-encoded, no matter how
+        many stages the cascade has.
+        """
+        n = pairs.n_pairs
         if n == 0:
             raise ValueError("cannot filter an empty work list")
-        reads = list(reads)
-        segments = list(segments)
 
         accepted = np.zeros(n, dtype=bool)
         estimates = np.zeros(n, dtype=np.int32)
@@ -154,11 +156,10 @@ class FilterCascade:
 
         wall_start = time.perf_counter()
         alive = np.arange(n)
+        survivors = pairs
         for stage_index, stage in enumerate(self.stages):
             stage_start = time.perf_counter()
-            result = stage.filter_lists(
-                [reads[i] for i in alive], [segments[i] for i in alive]
-            )
+            result = stage.filter_encoded(survivors)
             stage_wall = time.perf_counter() - stage_start
             # The estimate a pair reports is the one from the last stage that
             # examined it (the stage that rejected it, or the final stage).
@@ -181,9 +182,13 @@ class FilterCascade:
             transfer += result.timing.transfer_s
             kernel += result.timing.kernel_s
             n_batches += result.n_batches
-            alive = alive[result.accepted_indices()]
+            keep = result.accepted_indices()
+            alive = alive[keep]
             if len(alive) == 0:
                 break
+            if stage_index + 1 < len(self.stages):
+                # Pure index selection: survivors stay in encoded form.
+                survivors = survivors.select(keep)
         accepted[alive] = True
         wall_clock = time.perf_counter() - wall_start
 
@@ -208,6 +213,20 @@ class FilterCascade:
             stage_accounts=accounts,
         )
 
+    def filter_lists(
+        self, reads: Sequence[str], segments: Sequence[str]
+    ) -> CascadeRunResult:
+        """Filter parallel lists through every stage, survivors only.
+
+        Thin adapter: the lists are encoded exactly once and handed to
+        :meth:`filter_encoded`.
+        """
+        if len(reads) != len(segments):
+            raise ValueError("reads and segments must have the same length")
+        if len(reads) == 0:
+            raise ValueError("cannot filter an empty work list")
+        return self.filter_encoded(EncodedPairBatch.from_lists(reads, segments))
+
     def filter_pairs(self, pairs: Sequence) -> CascadeRunResult:
         """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
         reads = [p.read for p in pairs]
@@ -215,7 +234,12 @@ class FilterCascade:
         return self.filter_lists(reads, segments)
 
     def filter_dataset(self, dataset) -> CascadeRunResult:
-        """Filter a :class:`repro.simulate.PairDataset`."""
+        """Filter a :class:`repro.simulate.PairDataset` (cached encode-once batch)."""
+        encoded = getattr(dataset, "encoded", None)
+        if callable(encoded):
+            batch = encoded()
+            if batch.n_pairs:
+                return self.filter_encoded(batch)
         return self.filter_lists(dataset.reads, dataset.segments)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,10 +26,11 @@ import numpy as np
 
 from ..core.config import EncodingActor, SystemConfiguration
 from ..core.buffers import FiltrationBuffers
-from ..core.kernel import device_encode, run_gatekeeper_kernel
-from ..core.preprocess import prepare_batches
+from ..core.kernel import run_gatekeeper_kernel
+from ..core.preprocess import prepare_batches_encoded
 from ..core.results import FilterRunResult
 from ..filters.base import PreAlignmentFilter
+from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.device import DeviceSpec, GTX_1080_TI, SystemSetup
 from ..gpusim.multi_gpu import split_evenly
 from ..gpusim.timing import TimingModel
@@ -124,6 +125,13 @@ class FilterEngine:
         """True when the filter runs through the packed word-array kernel."""
         return bool(getattr(self.filter, "word_kernel_compatible", False))
 
+    @property
+    def _needs_word_arrays(self) -> bool:
+        """True when filtering will consume the packed word representation."""
+        return self.uses_word_kernel or callable(
+            getattr(self.filter, "estimate_edits_words", None)
+        )
+
     def allocate_buffers(self, batch_pairs: int) -> list[FiltrationBuffers]:
         """Allocate per-device unified-memory buffers for a batch (bookkeeping)."""
         buffers = []
@@ -141,14 +149,12 @@ class FilterEngine:
         """(estimates, accepted, undefined) of one :class:`PreparedBatch`."""
         e = self.config.error_threshold
         if self.uses_word_kernel:
-            if batch.host_encoded:
-                read_words, ref_words = batch.read_words, batch.ref_words
-            else:
-                read_words = device_encode(batch.read_codes)
-                ref_words = device_encode(batch.ref_codes)
+            # The word arrays are packed lazily by the parent EncodedPairBatch
+            # (at most once per pair, host- or device-billed per the timing
+            # model); the kernel itself is fully bit-parallel.
             output = run_gatekeeper_kernel(
-                read_words,
-                ref_words,
+                batch.read_words,
+                batch.ref_words,
                 length=self.config.read_length,
                 error_threshold=e,
                 edge_policy=self.filter.edge_policy,
@@ -158,43 +164,54 @@ class FilterEngine:
             )
             return output.estimated_edits, output.accepted, output.undefined
         undefined = np.asarray(batch.undefined, dtype=bool)
-        estimates = np.asarray(
-            self.filter.estimate_edits_batch(batch.read_codes, batch.ref_codes),
-            dtype=np.int32,
-        )
+        packed_kernel = getattr(self.filter, "estimate_edits_words", None)
+        if callable(packed_kernel):
+            estimates = np.asarray(
+                packed_kernel(
+                    batch.read_words, batch.ref_words, self.config.read_length
+                ),
+                dtype=np.int32,
+            )
+        else:
+            estimates = np.asarray(
+                self.filter.estimate_edits_batch(batch.read_codes, batch.ref_codes),
+                dtype=np.int32,
+            )
         # Undefined pairs bypass filtration with a direct pass (paper design).
         estimates = np.where(undefined, 0, estimates).astype(np.int32)
         accepted = undefined | (estimates <= e)
         return estimates, accepted, undefined
 
-    def filter_share(
-        self, reads: Sequence[str], segments: Sequence[str]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """Run the batched kernel path over one device's share of the work.
-
-        This is the single-device core of :meth:`filter_lists`: no device
-        splitting and no timing model, just batching, encoding and the kernel.
-        Returns ``(estimated_edits, accepted, undefined, n_batches)``; an
-        empty share yields empty arrays.  :class:`repro.runtime` uses this to
-        shard streamed chunks across devices with
-        :class:`~repro.gpusim.multi_gpu.MultiGpuDispatcher`.
-        """
-        if len(reads) != len(segments):
-            raise ValueError("reads and segments must have the same length")
-        n = len(reads)
-        if n and len(reads[0]) != self.config.read_length:
+    def _check_length(self, pairs: EncodedPairBatch) -> None:
+        if pairs.n_pairs and pairs.length != self.config.read_length:
             # The read length is a compile-time constant of the simulated
             # kernel; silently filtering at the wrong length would truncate
             # or pad every comparison.
             raise ValueError(
                 f"engine is configured for read_length={self.config.read_length} "
-                f"but received {len(reads[0])} bp sequences"
+                f"but received {pairs.length} bp sequences"
             )
+
+    def filter_encoded_share(
+        self, pairs: EncodedPairBatch
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Run the batched kernel path over one device's share of the work.
+
+        This is the single-device core of :meth:`filter_encoded`: no device
+        splitting and no timing model, just batching and the kernel on an
+        already-encoded :class:`~repro.genomics.encoding.EncodedPairBatch`.
+        Returns ``(estimated_edits, accepted, undefined, n_batches)``; an
+        empty share yields empty arrays.  :class:`repro.runtime` uses this to
+        shard streamed chunks across devices with
+        :class:`~repro.gpusim.multi_gpu.MultiGpuDispatcher`.
+        """
+        self._check_length(pairs)
+        n = pairs.n_pairs
         accepted = np.zeros(n, dtype=bool)
         estimates = np.zeros(n, dtype=np.int32)
         undefined = np.zeros(n, dtype=bool)
         n_batches = 0
-        for batch in prepare_batches(reads, segments, self.config):
+        for batch in prepare_batches_encoded(pairs, self.config):
             batch_estimates, batch_accepted, batch_undefined = self._run_batch(batch)
             hi = batch.start + batch.n_pairs
             accepted[batch.start : hi] = batch_accepted
@@ -203,15 +220,31 @@ class FilterEngine:
             n_batches += 1
         return estimates, accepted, undefined, n_batches
 
-    def filter_lists(
+    def filter_share(
         self, reads: Sequence[str], segments: Sequence[str]
-    ) -> FilterRunResult:
-        """Filter parallel lists of reads and candidate reference segments."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """String-list adapter over :meth:`filter_encoded_share` (encodes once)."""
         if len(reads) != len(segments):
             raise ValueError("reads and segments must have the same length")
-        n = len(reads)
+        return self.filter_encoded_share(EncodedPairBatch.from_lists(reads, segments))
+
+    def filter_encoded(self, pairs: EncodedPairBatch) -> FilterRunResult:
+        """Filter an already-encoded pair batch (the encode-once hot path).
+
+        Device shares are zero-copy row-slice views of ``pairs`` — nothing is
+        re-encoded, re-packed or rebuilt as strings anywhere below this call.
+        """
+        n = pairs.n_pairs
         if n == 0:
             raise ValueError("cannot filter an empty work list")
+        self._check_length(pairs)
+        if self._needs_word_arrays:
+            # Materialise the packed words on the caller's batch so device
+            # shares, later cascade stages and repeated runs over a cached
+            # dataset batch all inherit the cached rows — each pair is packed
+            # exactly once, no matter how often its row is viewed.
+            pairs.read_words
+            pairs.ref_words
 
         accepted = np.zeros(n, dtype=bool)
         estimates = np.zeros(n, dtype=np.int32)
@@ -223,7 +256,7 @@ class FilterEngine:
         # share the pipeline batches by the configured batch size.
         for share in split_evenly(n, self.config.n_devices):
             share_estimates, share_accepted, share_undefined, share_batches = (
-                self.filter_share(reads[share], segments[share])
+                self.filter_encoded_share(pairs[share])
             )
             accepted[share] = share_accepted
             estimates[share] = share_estimates
@@ -257,6 +290,21 @@ class FilterEngine:
             },
         )
 
+    def filter_lists(
+        self, reads: Sequence[str], segments: Sequence[str]
+    ) -> FilterRunResult:
+        """Filter parallel lists of reads and candidate reference segments.
+
+        Thin adapter: the lists are encoded into an
+        :class:`~repro.genomics.encoding.EncodedPairBatch` exactly once and
+        handed to :meth:`filter_encoded`.
+        """
+        if len(reads) != len(segments):
+            raise ValueError("reads and segments must have the same length")
+        if len(reads) == 0:
+            raise ValueError("cannot filter an empty work list")
+        return self.filter_encoded(EncodedPairBatch.from_lists(reads, segments))
+
     def filter_pairs(self, pairs: Sequence) -> FilterRunResult:
         """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
         reads = [p.read for p in pairs]
@@ -264,7 +312,12 @@ class FilterEngine:
         return self.filter_lists(reads, segments)
 
     def filter_dataset(self, dataset) -> FilterRunResult:
-        """Filter a :class:`repro.simulate.PairDataset`."""
+        """Filter a :class:`repro.simulate.PairDataset` (cached encode-once batch)."""
+        encoded = getattr(dataset, "encoded", None)
+        if callable(encoded):
+            batch = encoded()
+            if batch.n_pairs:
+                return self.filter_encoded(batch)
         return self.filter_lists(dataset.reads, dataset.segments)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -65,6 +65,13 @@ class PreAlignmentFilter(ABC):
     additionally override :meth:`estimate_edits_batch`; the base class provides
     a per-pair fallback so every registered filter honours the batch protocol
     used by :class:`repro.engine.FilterEngine`.
+
+    Filters with a bit-parallel kernel may additionally define
+    ``estimate_edits_words(read_words, ref_words, length)`` operating on the
+    packed ``uint64`` word arrays of an
+    :class:`~repro.genomics.encoding.EncodedPairBatch`; when present, the
+    engine prefers it over :meth:`estimate_edits_batch` (the two must produce
+    identical estimates — property-tested for the built-in filters).
     """
 
     #: Human readable name used by the analysis tables.

@@ -124,27 +124,28 @@ def estimate_edits_batch(
     """Estimated edit count of every pair in the batch (GateKeeper pipeline).
 
     Parameters mirror :class:`repro.filters.gatekeeper.GateKeeperFilter`.
+    The computation packs the codes into 64-bit words once and runs the
+    bit-parallel kernel of :mod:`repro.core.kernel`; the per-base helpers in
+    this module remain the property-tested reference implementation.
     """
+    from ..core.kernel import run_gatekeeper_kernel
+    from ..genomics.encoding import pack_codes_to_words
+
     read_codes = np.asarray(read_codes, dtype=np.uint8)
     ref_codes = np.asarray(ref_codes, dtype=np.uint8)
     if read_codes.shape != ref_codes.shape:
         raise ValueError("read and reference code arrays must have the same shape")
-    n_pairs, n = read_codes.shape
-    e = int(error_threshold)
-    shifts = [0] + [s for k in range(1, e + 1) for s in (k, -k)]
-    masks = np.empty((len(shifts), n_pairs, n), dtype=np.uint8)
-    for row, shift in enumerate(shifts):
-        masks[row] = shifted_mismatch_batch(read_codes, ref_codes, shift, vacant_value=0)
-    masks = amend_masks_batch(masks, max_zero_run=max_zero_run)
-    if edge_policy == EdgePolicy.ONE:
-        _force_vacant_edges(masks, shifts)
-    final = np.bitwise_and.reduce(masks, axis=0)
-    # Windowed LUT count: one edit per window containing a set bit.
-    n_windows = -(-n // count_window)
-    padded = np.zeros((n_pairs, n_windows * count_window), dtype=np.uint8)
-    padded[:, :n] = final
-    windows_hit = np.any(padded.reshape(n_pairs, n_windows, count_window), axis=2)
-    return windows_hit.sum(axis=1).astype(np.int32)
+    _, n = read_codes.shape
+    output = run_gatekeeper_kernel(
+        pack_codes_to_words(read_codes, word_bits=64),
+        pack_codes_to_words(ref_codes, word_bits=64),
+        length=n,
+        error_threshold=error_threshold,
+        edge_policy=edge_policy,
+        count_window=count_window,
+        max_zero_run=max_zero_run,
+    )
+    return output.estimated_edits
 
 
 def gatekeeper_batch(

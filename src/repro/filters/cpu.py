@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..genomics.encoding import encode_batch_codes
+from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.device import HostSpec, XEON_GOLD_6140
 from ..gpusim.timing import CpuTimingModel
 from .batch import BatchFilterOutput, gatekeeper_batch
@@ -113,9 +113,11 @@ class GateKeeperCPU:
         read_length = len(reads[0])
 
         wall_start = time.perf_counter()
-        read_codes, read_undef = encode_batch_codes(list(reads))
-        ref_codes, ref_undef = encode_batch_codes(list(segments))
-        undefined = read_undef | ref_undef
+        # Encode once for the whole work list — no list copy is forced on the
+        # caller's sequence, and worker chunks below are row-slice views.
+        pairs = EncodedPairBatch.from_lists(reads, segments)
+        read_codes, ref_codes = pairs.read_codes, pairs.ref_codes
+        undefined = pairs.undefined
 
         n = len(reads)
         bounds = list(range(0, n, self.chunk_size)) + [n]

@@ -14,7 +14,11 @@ which matches the false rejects the paper observes for MAGNET.
 The batch path builds all ``2e+1`` masks for the whole batch with vectorised
 array operations and runs the (inherently sequential) segment extraction per
 pair on run-length encoded masks, which keeps the scalar and batched
-estimates identical.
+estimates identical.  When the pairs arrive pre-encoded as packed words
+(:meth:`MagnetFilter.estimate_edits_words`), the masks are built bit-parallel
+from the word arrays and the zero-run boundaries are detected with packed
+shift/AND marker operations (:func:`repro.filters.packed.zero_run_markers`)
+— only the tiny start/end marker bitmaps are ever unpacked.
 """
 
 from __future__ import annotations
@@ -23,6 +27,12 @@ import numpy as np
 
 from .base import PreAlignmentFilter
 from .batch import shifted_mismatch_batch
+from .packed import (
+    lane_span_mask,
+    shifted_mismatch_lanes,
+    unpack_lanes,
+    zero_run_markers,
+)
 
 __all__ = ["MagnetFilter"]
 
@@ -90,10 +100,19 @@ class MagnetFilter(PreAlignmentFilter):
 
     def _estimate_from_masks(self, masks: np.ndarray) -> int:
         """Divide-and-conquer extraction on one pair's ``(2e+1, n)`` mask stack."""
-        n = masks.shape[1]
-        e = self.error_threshold
         run_starts, run_ends = _zero_runs_all_masks(masks)
+        return self._extract_from_runs(run_starts, run_ends, masks.shape[1])
 
+    def _extract_from_runs(
+        self, run_starts: np.ndarray, run_ends: np.ndarray, n: int
+    ) -> int:
+        """Divide-and-conquer extraction given the zero runs of all masks.
+
+        ``run_starts`` / ``run_ends`` are the concatenated maximal zero runs
+        of every mask in (mask, position) order, however they were detected
+        (per-base diff or packed markers).
+        """
+        e = self.error_threshold
         covered = 0
         # Intervals still to be searched, processed longest-segment-first.
         # An interval's best segment never changes once computed (the masks
@@ -145,3 +164,38 @@ class MagnetFilter(PreAlignmentFilter):
             [self._estimate_from_masks(masks[:, i, :]) for i in range(read_codes.shape[0])],
             dtype=np.int32,
         )
+
+    def estimate_edits_words(
+        self, read_words: np.ndarray, ref_words: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Packed-word MAGNET over pre-encoded word arrays.
+
+        The ``2e+1`` masks are shifted-XOR lane masks of the 2-bit words
+        (vacant positions forced to 1, MAGNET's edge fix), and every maximal
+        zero run is located by the packed start/end marker kernel; only those
+        marker bitmaps are unpacked to feed the per-pair extraction.
+        """
+        read_words = np.asarray(read_words, dtype=np.uint64)
+        ref_words = np.asarray(ref_words, dtype=np.uint64)
+        n_pairs, n_words = read_words.shape
+        if length == 0:
+            return np.zeros(n_pairs, dtype=np.int32)
+        e = self.error_threshold
+        shifts = [0] + [s for k in range(1, e + 1) for s in (k, -k)]
+        valid = lane_span_mask(0, length, n_words)
+        masks = np.empty((len(shifts), n_pairs, n_words), dtype=np.uint64)
+        for row, shift in enumerate(shifts):
+            # MAGNET treats vacant positions as mismatches (vacant_value=1) so
+            # that edge errors are not hidden (one of its fixes over SHD).
+            masks[row], _ = shifted_mismatch_lanes(
+                read_words, ref_words, shift, length, vacant_value=1, valid=valid
+            )
+        start_marks, end_marks = zero_run_markers(masks, valid)
+        start_bits = unpack_lanes(start_marks, length)
+        end_bits = unpack_lanes(end_marks, length)
+        estimates = np.empty(n_pairs, dtype=np.int32)
+        for i in range(n_pairs):
+            run_starts = np.flatnonzero(start_bits[:, i, :]) % length
+            run_ends = np.flatnonzero(end_bits[:, i, :]) % length + 1
+            estimates[i] = self._extract_from_runs(run_starts, run_ends, length)
+        return estimates

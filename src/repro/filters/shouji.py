@@ -12,7 +12,11 @@ threshold the pair is rejected.
 Both a scalar path (one pair) and a vectorised path (``(n_pairs, n_bases)``
 code batches, used by :class:`repro.engine.FilterEngine`) are provided; they
 produce identical estimates by construction (same window scan, same
-leftmost-diagonal tie-break via ``argmax``).
+leftmost-diagonal tie-break via ``argmax``).  When the pairs arrive
+pre-encoded as packed words, the default four-column window aligns exactly
+with the bytes of the 2-bit-lane representation, so the whole window scan
+collapses into per-byte popcounts plus an ``argmin`` over diagonals
+(:meth:`ShoujiFilter.estimate_edits_words`) — no per-base array is built.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import PreAlignmentFilter
+from .packed import neighborhood_lanes, popcount, unpack_lanes
 
 __all__ = ["ShoujiFilter", "neighborhood_map", "neighborhood_map_batch"]
 
@@ -101,8 +106,18 @@ class ShoujiFilter(PreAlignmentFilter):
         ref_codes = np.asarray(ref_codes, dtype=np.uint8)
         if read_codes.shape != ref_codes.shape:
             raise ValueError("read and reference code arrays must have the same shape")
-        n_pairs, n = read_codes.shape
         nmap = neighborhood_map_batch(read_codes, ref_codes, self.error_threshold)
+        return self._scan_windows(nmap)
+
+    def _scan_windows(self, nmap: np.ndarray) -> np.ndarray:
+        """Sliding-window scan over a ``(n_pairs, 2e+1, n)`` neighborhood map.
+
+        Every window's best diagonal is picked per pair with ``argmax`` over
+        the per-diagonal zero counts (first maximum wins, i.e. the leftmost
+        diagonal, as in the scalar reference); the chosen sub-segments' set
+        bits accumulate into the Shouji bit-vector.
+        """
+        n_pairs, _, n = nmap.shape
         shouji_vector = np.ones((n_pairs, n), dtype=np.uint8)
         w = self.window
         for start in range(0, n, w):
@@ -117,3 +132,33 @@ class ShoujiFilter(PreAlignmentFilter):
             # Shouji bit-vector.
             shouji_vector[:, start:end] &= (chosen != 0).astype(np.uint8)
         return shouji_vector.sum(axis=1).astype(np.int32)
+
+    def estimate_edits_words(
+        self, read_words: np.ndarray, ref_words: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Packed-word Shouji scan over pre-encoded word arrays.
+
+        With the paper's four-column window, every window is exactly one byte
+        of the lane representation (4 bases x 2 bits): the per-diagonal zero
+        count of a window is ``4 - popcount(byte)``, the best diagonal is an
+        ``argmin`` over the byte popcounts (first minimum = leftmost diagonal,
+        matching the reference tie-break) and the estimate is the sum of the
+        chosen diagonals' popcounts.  Other window widths fall back to the
+        per-base batch path on unpacked lanes.
+        """
+        n_pairs = read_words.shape[0]
+        if length == 0:
+            return np.zeros(n_pairs, dtype=np.int32)
+        lanes = neighborhood_lanes(read_words, ref_words, length, self.error_threshold)
+        if self.window != 4:
+            # Window widths other than one byte: reuse the per-base scan.
+            return self._scan_windows(unpack_lanes(lanes, length))
+        # Bytes beyond the sequence length hold no lanes (neighborhood_lanes
+        # clears padding), so they contribute zero to every diagonal and to
+        # the final sum alike.
+        window_counts = popcount(np.ascontiguousarray(lanes).view(np.uint8))
+        best_diag = window_counts.argmin(axis=1)
+        chosen = np.take_along_axis(
+            window_counts, best_diag[:, np.newaxis, :], axis=1
+        )[:, 0, :]
+        return chosen.sum(axis=-1, dtype=np.int32)

@@ -12,10 +12,13 @@ never causes a false reject.
 The optimal routing can be computed greedily: from the current column, find
 the diagonal with the longest run of obstacle-free cells, travel along it and
 pay one unit to cross the next column.  The vectorised batch path precomputes
-the longest obstacle-free run starting at every column (a right-to-left scan
-vectorised over pairs and diagonals) and advances all pairs' greedy walks in
-lockstep; it reproduces the scalar estimates exactly, including the early
-exit once a pair's estimate exceeds the threshold.
+the distance to the next obstacle at every column (one ``minimum.accumulate``
+segment scan over pairs and diagonals — no per-column Python loop) and
+advances all pairs' greedy walks in lockstep; it reproduces the scalar
+estimates exactly, including the early exit once a pair's estimate exceeds
+the threshold.  When the pairs arrive pre-encoded as packed words
+(:meth:`SneakySnakeFilter.estimate_edits_words`), the chip maze itself is
+built bit-parallel from the word arrays (:func:`repro.filters.packed.neighborhood_lanes`).
 """
 
 from __future__ import annotations
@@ -23,9 +26,25 @@ from __future__ import annotations
 import numpy as np
 
 from .base import PreAlignmentFilter
+from .packed import neighborhood_lanes, unpack_lanes
 from .shouji import neighborhood_map_batch
 
 __all__ = ["SneakySnakeFilter"]
+
+
+def _longest_free_runs(obstacles: np.ndarray) -> np.ndarray:
+    """Longest obstacle-free run starting at each column, over all diagonals.
+
+    ``obstacles`` is ``(n_pairs, n_diagonals, n)`` (non-zero = obstacle); the
+    result is ``(n_pairs, n)`` int32.  The per-diagonal distance to the next
+    obstacle is a reversed ``minimum.accumulate`` of the obstacle positions —
+    a single C-level segment scan instead of a Python loop over columns.
+    """
+    n = obstacles.shape[-1]
+    columns = np.arange(n, dtype=np.int32)
+    obstacle_pos = np.where(obstacles != 0, columns, np.int32(n))
+    next_obstacle = np.minimum.accumulate(obstacle_pos[..., ::-1], axis=-1)[..., ::-1]
+    return (next_obstacle - columns).max(axis=1)
 
 
 class SneakySnakeFilter(PreAlignmentFilter):
@@ -53,20 +72,33 @@ class SneakySnakeFilter(PreAlignmentFilter):
         n_pairs, n = read_codes.shape
         if n == 0:
             return np.zeros(n_pairs, dtype=np.int32)
+        nmap = neighborhood_map_batch(read_codes, ref_codes, self.error_threshold)
+        return self._route(_longest_free_runs(nmap), n)
+
+    def estimate_edits_words(
+        self, read_words: np.ndarray, ref_words: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Packed-word path: the chip maze is built from the encoded words.
+
+        Used by :class:`repro.engine.FilterEngine` when the pairs arrive as an
+        :class:`~repro.genomics.encoding.EncodedPairBatch` — the neighborhood
+        map rows are shifted-XOR lane masks of the 2-bit word arrays, so no
+        per-base comparison is ever performed.
+        """
+        n_pairs = read_words.shape[0]
+        if length == 0:
+            return np.zeros(n_pairs, dtype=np.int32)
+        lanes = neighborhood_lanes(read_words, ref_words, length, self.error_threshold)
+        return self._route(_longest_free_runs(unpack_lanes(lanes, length)), length)
+
+    def _route(self, longest_run: np.ndarray, n: int) -> np.ndarray:
+        """Greedy routing, all pairs in lockstep.
+
+        A pair leaves the loop when its signal reaches the last column or its
+        estimate exceeds the threshold (the scalar early exit).
+        """
         e = self.error_threshold
-        nmap = neighborhood_map_batch(read_codes, ref_codes, e)
-
-        # longest_run[:, c]: longest obstacle-free run over all diagonals
-        # starting exactly at column c, built with a right-to-left scan.
-        longest_run = np.empty((n_pairs, n), dtype=np.int32)
-        run = np.zeros((n_pairs, nmap.shape[1]), dtype=np.int32)
-        for c in range(n - 1, -1, -1):
-            run = np.where(nmap[:, :, c] == 0, run + 1, 0)
-            longest_run[:, c] = run.max(axis=1)
-
-        # Greedy routing, all pairs in lockstep.  A pair leaves the loop when
-        # its signal reaches the last column or its estimate exceeds the
-        # threshold (the scalar early exit).
+        n_pairs = longest_run.shape[0]
         edits = np.zeros(n_pairs, dtype=np.int32)
         column = np.zeros(n_pairs, dtype=np.int64)
         active = np.ones(n_pairs, dtype=bool)

@@ -16,6 +16,7 @@ from .alphabet import (
 )
 from .encoding import (
     EncodedBatch,
+    EncodedPairBatch,
     encode_batch,
     encode_batch_codes,
     encode_to_codes,
@@ -45,6 +46,7 @@ __all__ = [
     "is_valid_sequence",
     "reverse_complement",
     "EncodedBatch",
+    "EncodedPairBatch",
     "encode_batch",
     "encode_batch_codes",
     "encode_to_codes",

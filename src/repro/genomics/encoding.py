@@ -4,10 +4,13 @@ GateKeeper-GPU represents an encoded read as an array of machine words: a
 16-character window is packed into one 32-bit word, so a 100 bp read occupies
 seven words (Section 3.3 of the paper).  This module provides
 
-* scalar helpers that encode a sequence into a Python integer bit-vector, and
+* scalar helpers that encode a sequence into a Python integer bit-vector,
 * vectorised helpers that encode *batches* of equal-length sequences into
   NumPy word arrays (``uint32`` or ``uint64``), mirroring the data layout of
-  the CUDA kernel.
+  the CUDA kernel, and
+* the :class:`EncodedBatch` / :class:`EncodedPairBatch` value types that the
+  whole filtering stack passes around so every sequence is encoded exactly
+  once at ingest (the encode-once data flow).
 
 The word layout places the first base of the sequence in the most significant
 bits of word 0, exactly as the FPGA/CUDA implementations do, so that a logical
@@ -17,7 +20,7 @@ lower indices (insertions) and a right shift to deletions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -38,6 +41,7 @@ __all__ = [
     "encode_batch",
     "encode_batch_codes",
     "EncodedBatch",
+    "EncodedPairBatch",
 ]
 
 WORD_BITS_32 = 32
@@ -132,13 +136,23 @@ def pack_codes_to_words(codes: np.ndarray, word_bits: int = WORD_BITS_64) -> np.
     n_words = words_per_read(length, word_bits)
     padded_len = n_words * bases_per_word
     dtype = np.uint32 if word_bits == WORD_BITS_32 else np.uint64
-    padded = np.zeros((n, padded_len), dtype=np.uint64)
+    padded = np.zeros((n, padded_len), dtype=np.uint8)
     padded[:, :length] = codes
-    # Shift amounts place base 0 of each word in the most significant bits.
-    shifts = np.arange(bases_per_word - 1, -1, -1, dtype=np.uint64) * BITS_PER_BASE
-    grouped = padded.reshape(n, n_words, bases_per_word)
-    words = (grouped << shifts[np.newaxis, np.newaxis, :]).sum(axis=2, dtype=np.uint64)
-    words = words.astype(dtype)
+    # Compose four 2-bit codes into each byte (base 0 in the top bits), then
+    # reverse the bytes of every word so the little-endian view places base 0
+    # in the most significant bits — a handful of uint8 passes instead of a
+    # 64-bit multiply-accumulate over every base.
+    quads = padded.reshape(n, -1, 4)
+    byte_view = (
+        (quads[..., 0] << 6) | (quads[..., 1] << 4) | (quads[..., 2] << 2) | quads[..., 3]
+    )
+    bytes_per_word = word_bits // 8
+    if np.little_endian:
+        grouped = byte_view.reshape(n, n_words, bytes_per_word)[..., ::-1]
+        flat = np.ascontiguousarray(grouped).reshape(n, n_words * bytes_per_word)
+    else:  # pragma: no cover - big-endian hosts need no byte reversal
+        flat = byte_view
+    words = flat.view(dtype)
     return words[0] if single else words
 
 
@@ -157,68 +171,225 @@ def unpack_words_to_codes(
     return codes[0] if single else codes
 
 
-@dataclass(frozen=True)
 class EncodedBatch:
-    """A batch of equal-length sequences encoded into word arrays.
+    """A batch of equal-length sequences, encoded exactly once.
 
-    Attributes
-    ----------
-    words:
-        ``(n_sequences, n_words)`` word array.
-    length:
-        Number of bases per sequence.
-    word_bits:
-        Width of each machine word (32 or 64).
-    undefined:
-        Boolean mask marking sequences that contained an ``N`` and therefore
-        could not be encoded (their word rows are zero-filled).
+    The batch carries both representations the filtering stack works in:
+
+    ``codes``
+        ``(n_sequences, length)`` uint8 array of per-base 2-bit codes (rows of
+        undefined sequences are zero-filled).
+    ``words``
+        ``(n_sequences, n_words)`` packed word array (2 bits per base, first
+        base in the most significant bits of word 0).  Packed lazily from
+        ``codes`` on first access and cached, so filters that never touch the
+        word form do not pay for the packing.
+    ``undefined``
+        Boolean mask marking sequences that contained an ``N`` (or any other
+        non-ACGT character) and therefore could not be encoded.
+    ``length`` / ``lengths``
+        Bases per sequence (one shared value; ``lengths`` is the broadcast
+        per-sequence view for callers that want an array).
+
+    Index/slice views (``batch[sel]`` / :meth:`take`) select rows of the
+    existing arrays — no string is ever re-encoded and cached word rows are
+    carried along, which is what makes cascade survivors and device shares
+    zero-copy with respect to encoding work.
     """
 
-    words: np.ndarray
-    length: int
-    word_bits: int
-    undefined: np.ndarray
+    __slots__ = ("codes", "undefined", "length", "word_bits", "_words")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        undefined: np.ndarray,
+        length: int | None = None,
+        word_bits: int = WORD_BITS_64,
+        words: np.ndarray | None = None,
+    ):
+        if word_bits not in (WORD_BITS_32, WORD_BITS_64):
+            raise ValueError("word_bits must be 32 or 64")
+        self.codes = codes
+        self.undefined = undefined
+        self.length = int(codes.shape[-1] if length is None else length)
+        self.word_bits = int(word_bits)
+        self._words = words
+
+    @classmethod
+    def from_strings(
+        cls, sequences: "Sequence[str | bytes]", word_bits: int = WORD_BITS_64
+    ) -> "EncodedBatch":
+        """Encode equal-length sequences (the one-and-only encode)."""
+        codes, undefined = encode_batch_codes(sequences)
+        return cls(codes, undefined, word_bits=word_bits)
+
+    @property
+    def words(self) -> np.ndarray:
+        """Packed word array; computed from ``codes`` on first access."""
+        if self._words is None:
+            self._words = pack_codes_to_words(self.codes, word_bits=self.word_bits)
+        return self._words
 
     @property
     def n_sequences(self) -> int:
-        return int(self.words.shape[0])
+        return int(self.codes.shape[0])
 
     @property
     def n_words(self) -> int:
-        return int(self.words.shape[1])
+        return words_per_read(self.length, self.word_bits)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-sequence lengths (all equal within a batch)."""
+        return np.full(self.n_sequences, self.length, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.n_sequences
+
+    def __getitem__(self, selection) -> "EncodedBatch":
+        """Row selection (slice or index array) without re-encoding."""
+        words = None if self._words is None else self._words[selection]
+        return EncodedBatch(
+            self.codes[selection],
+            self.undefined[selection],
+            self.length,
+            self.word_bits,
+            words,
+        )
+
+    def take(self, indices) -> "EncodedBatch":
+        """Alias of ``batch[indices]`` for explicit index selection."""
+        return self[indices]
 
 
-def encode_batch_codes(sequences: list[str]) -> tuple[np.ndarray, np.ndarray]:
+class EncodedPairBatch:
+    """Parallel read / reference-segment batches plus the combined undefined mask.
+
+    This is the unit the encode-once pipeline threads through
+    :class:`repro.engine.FilterEngine`, :class:`repro.engine.FilterCascade`,
+    the streaming runtime and the mapper: built once from strings at ingest,
+    then only sliced (device shares) or index-selected (cascade survivors).
+    """
+
+    __slots__ = ("reads", "refs", "undefined")
+
+    def __init__(
+        self,
+        reads: EncodedBatch,
+        refs: EncodedBatch,
+        undefined: np.ndarray | None = None,
+    ):
+        if reads.codes.shape != refs.codes.shape:
+            raise ValueError("read and reference code arrays must have the same shape")
+        self.reads = reads
+        self.refs = refs
+        self.undefined = (
+            (reads.undefined | refs.undefined) if undefined is None else undefined
+        )
+
+    @classmethod
+    def from_lists(
+        cls,
+        reads: "Sequence[str | bytes]",
+        segments: "Sequence[str | bytes]",
+        word_bits: int = WORD_BITS_64,
+    ) -> "EncodedPairBatch":
+        """Encode parallel read/segment lists (empty lists yield an empty batch)."""
+        if len(reads) != len(segments):
+            raise ValueError("reads and segments must have the same length")
+        if len(reads) == 0:
+            empty_codes = np.zeros((0, 0), dtype=np.uint8)
+            empty_undef = np.zeros(0, dtype=bool)
+            empty = EncodedBatch(empty_codes, empty_undef, 0, word_bits)
+            return cls(empty, empty)
+        return cls(
+            EncodedBatch.from_strings(reads, word_bits=word_bits),
+            EncodedBatch.from_strings(segments, word_bits=word_bits),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pairs(self) -> int:
+        return self.reads.n_sequences
+
+    @property
+    def length(self) -> int:
+        return self.reads.length
+
+    @property
+    def read_codes(self) -> np.ndarray:
+        return self.reads.codes
+
+    @property
+    def ref_codes(self) -> np.ndarray:
+        return self.refs.codes
+
+    @property
+    def read_words(self) -> np.ndarray:
+        return self.reads.words
+
+    @property
+    def ref_words(self) -> np.ndarray:
+        return self.refs.words
+
+    def __len__(self) -> int:
+        return self.n_pairs
+
+    def __getitem__(self, selection) -> "EncodedPairBatch":
+        """Pair selection (slice or index array) without re-encoding."""
+        return EncodedPairBatch(
+            self.reads[selection], self.refs[selection], self.undefined[selection]
+        )
+
+    def select(self, indices) -> "EncodedPairBatch":
+        """Alias of ``pairs[indices]``: pure index selection (cascade survivors)."""
+        return self[indices]
+
+
+def encode_batch_codes(
+    sequences: "Sequence[str | bytes]",
+) -> tuple[np.ndarray, np.ndarray]:
     """Encode equal-length sequences into per-base codes plus an undefined mask.
 
-    Returns ``(codes, undefined)`` where ``codes`` is ``(n, length)`` uint8
-    (rows of undefined sequences are zero-filled) and ``undefined`` marks the
-    sequences containing non-ACGT characters.
+    ``sequences`` may be any sequence (list, tuple, NumPy array, ...) of
+    strings — or of ``bytes``/raw ASCII lines, which are consumed directly
+    without a bytes → str → bytes round trip.  No list copy is forced on the
+    caller.  Returns ``(codes, undefined)`` where ``codes`` is ``(n, length)``
+    uint8 (rows of undefined sequences are zero-filled) and ``undefined``
+    marks the sequences containing non-ACGT characters; the lookup table is
+    case-insensitive, so no per-sequence ``upper()`` pass is needed.
     """
-    if not sequences:
+    n = len(sequences)
+    if n == 0:
         raise ValueError("encode_batch_codes requires at least one sequence")
     length = len(sequences[0])
     for s in sequences:
         if len(s) != length:
             raise ValueError("all sequences in a batch must have equal length")
-    n = len(sequences)
-    joined = "".join(s.upper() for s in sequences)
-    raw = np.frombuffer(joined.encode("ascii"), dtype=np.uint8).reshape(n, length)
+    if isinstance(sequences[0], (bytes, bytearray)):
+        joined = b"".join(sequences)
+    else:
+        joined = "".join(sequences).encode("ascii")
+    raw = np.frombuffer(joined, dtype=np.uint8).reshape(n, length)
     codes = _ASCII_CODE[raw]
-    undefined = np.any(codes == 255, axis=1)
-    codes = np.where(codes == 255, 0, codes).astype(np.uint8)
+    invalid = codes == 255
+    undefined = np.any(invalid, axis=1)
+    if undefined.any():
+        # Zero-fill only when an undefined row exists (the common all-ACGT
+        # batch skips the extra full-array pass entirely).
+        codes[invalid] = 0
     return codes, undefined
 
 
-def encode_batch(sequences: list[str], word_bits: int = WORD_BITS_64) -> EncodedBatch:
+def encode_batch(
+    sequences: "Sequence[str | bytes]", word_bits: int = WORD_BITS_64
+) -> EncodedBatch:
     """Encode a list of equal-length sequences into an :class:`EncodedBatch`.
 
     Sequences containing ``N`` (or any non-ACGT character) are flagged in the
-    ``undefined`` mask and stored as all-zero words; the GateKeeper-GPU kernel
-    gives such pairs a direct pass, mirroring the paper's design choice.
+    ``undefined`` mask and stored as all-zero codes/words; the GateKeeper-GPU
+    kernel gives such pairs a direct pass, mirroring the paper's design choice.
     """
-    codes, undefined = encode_batch_codes(sequences)
-    words = pack_codes_to_words(codes, word_bits=word_bits)
-    return EncodedBatch(
-        words=words, length=len(sequences[0]), word_bits=word_bits, undefined=undefined
-    )
+    return EncodedBatch.from_strings(sequences, word_bits=word_bits)

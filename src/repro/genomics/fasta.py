@@ -5,6 +5,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from .opener import open_bytes as _open_bytes
 from .opener import open_text as _open
 from .sequence import Sequence
 
@@ -14,22 +15,26 @@ __all__ = ["read_fasta", "write_fasta", "iter_fasta"]
 def iter_fasta(path: str | Path) -> Iterator[Sequence]:
     """Yield :class:`Sequence` records from a FASTA file (optionally gzipped).
 
+    Sequence lines are accumulated as raw bytes and decoded to ``str`` once
+    per record, avoiding the text-IO layer's per-byte decode pass on the
+    golden path (the bytes -> str -> codes double decode).
+
     Malformed records (sequence data before any ``>`` header, or a header
     with no name) raise :class:`ValueError` naming the file, the record
     number and the offending line.
     """
     path = Path(path)
     name: str | None = None
-    chunks: list[str] = []
+    chunks: list[bytes] = []
     record = 0
-    with _open(path, "r") as handle:
+    with _open_bytes(path) as handle:
         for line_number, line in enumerate(handle, start=1):
-            line = line.rstrip("\n")
+            line = line.rstrip(b"\r\n")
             if not line:
                 continue
-            if line.startswith(">"):
+            if line.startswith(b">"):
                 if name is not None:
-                    yield Sequence(name=name, bases="".join(chunks))
+                    yield Sequence(name=name, bases=b"".join(chunks).decode("ascii"))
                 record += 1
                 fields = line[1:].split()
                 if not fields:
@@ -37,17 +42,18 @@ def iter_fasta(path: str | Path) -> Iterator[Sequence]:
                         f"{path}: FASTA record {record} (line {line_number}): "
                         f"header has no sequence name"
                     )
-                name = fields[0]
+                name = fields[0].decode("ascii", "replace")
                 chunks = []
             else:
                 if name is None:
                     raise ValueError(
                         f"{path}: headerless FASTA: sequence data at line "
-                        f"{line_number} before any '>' header: {line[:40]!r}"
+                        f"{line_number} before any '>' header: "
+                        f"{line[:40].decode('ascii', 'replace')!r}"
                     )
                 chunks.append(line.strip())
         if name is not None:
-            yield Sequence(name=name, bases="".join(chunks))
+            yield Sequence(name=name, bases=b"".join(chunks).decode("ascii"))
 
 
 def read_fasta(path: str | Path) -> list[Sequence]:

@@ -1,17 +1,20 @@
-"""Shared text-file opener with transparent gzip support.
+"""Shared file openers with transparent gzip support.
 
 Single home for the ``.gz`` rule used by the FASTA/FASTQ readers and the
 streaming pair sources, so compression handling cannot diverge between
-formats.
+formats.  The binary opener exists for the record parsers' golden path:
+reading raw ASCII lines and decoding each field exactly once avoids the
+text-IO layer's full decode-and-newline-translate pass over every byte of a
+multi-gigabyte read file.
 """
 
 from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import TextIO
+from typing import BinaryIO, TextIO
 
-__all__ = ["open_text"]
+__all__ = ["open_text", "open_bytes"]
 
 
 def open_text(path: str | Path, mode: str) -> TextIO:
@@ -20,3 +23,11 @@ def open_text(path: str | Path, mode: str) -> TextIO:
     if path.suffix == ".gz":
         return gzip.open(path, mode + "t")  # type: ignore[return-value]
     return open(path, mode)
+
+
+def open_bytes(path: str | Path) -> BinaryIO:
+    """Open ``path`` for binary reading; ``.gz`` suffixed files go through gzip."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rb")  # type: ignore[return-value]
+    return open(path, "rb")

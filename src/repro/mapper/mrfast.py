@@ -22,8 +22,8 @@ import numpy as np
 
 from ..align.banded import banded_edit_distance
 from ..core.filter import GateKeeperGPU
-from ..core.preprocess import encode_pair_arrays
 from ..filters.base import PreAlignmentFilter
+from ..genomics.encoding import EncodedPairBatch
 from ..genomics.reference import ReferenceGenome
 from ..genomics.sequence import Read
 from .index import KmerIndex
@@ -143,13 +143,24 @@ class MrFastMapper:
         if (self.prefilter is None and self._prefilter_name is None) or n == 0:
             return np.ones(n, dtype=bool), 0.0, 0.0, 0
         prefilter = self._resolve_prefilter(len(reads[0]))
+        # Seeded candidate pairs are encoded exactly once per batch; engines
+        # and bare filters alike consume the encoded batch directly.
+        pairs = EncodedPairBatch.from_lists(reads, segments)
+        if hasattr(prefilter, "filter_encoded"):
+            result = prefilter.filter_encoded(pairs)
+            return result.accepted, result.kernel_time_s, result.filter_time_s, result.n_undefined
         if hasattr(prefilter, "filter_lists"):
             result = prefilter.filter_lists(reads, segments)
             return result.accepted, result.kernel_time_s, result.filter_time_s, result.n_undefined
         # Bare PreAlignmentFilter instance: run its vectorised batch protocol
         # (identical decisions to filter_pair, an order of magnitude faster).
-        read_codes, ref_codes, undefined = encode_pair_arrays(reads, segments)
-        estimates = prefilter.estimate_edits_batch(read_codes, ref_codes)
+        packed_kernel = getattr(prefilter, "estimate_edits_words", None)
+        if callable(packed_kernel):
+            estimates = packed_kernel(pairs.read_words, pairs.ref_words, pairs.length)
+        else:
+            estimates = prefilter.estimate_edits_batch(pairs.read_codes, pairs.ref_codes)
+        undefined = pairs.undefined
+        estimates = np.where(undefined, 0, np.asarray(estimates, dtype=np.int32))
         accepted = undefined | (estimates <= prefilter.error_threshold)
         return accepted, 0.0, 0.0, int(undefined.sum())
 

@@ -43,6 +43,7 @@ from ..align.verification import Verifier
 from ..core.config import EncodingActor
 from ..core.pipeline import VERIFICATION_COST_PER_PAIR_S, resolve_error_threshold
 from ..filters.base import PreAlignmentFilter
+from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.multi_gpu import MultiGpuDispatcher, split_evenly
 from ..gpusim.stream import StreamPool
 from ..gpusim.timing import FilterTiming
@@ -359,12 +360,23 @@ class StreamingPipeline:
 
     def _filter_chunk(self, engine, reads, segments, stage_inputs):
         """Filter one chunk; returns (estimates, accepted, undefined, n_batches,
-        per-device share timings)."""
+        per-device share timings).
+
+        The chunk is encoded into an
+        :class:`~repro.genomics.encoding.EncodedPairBatch` exactly once here;
+        device shares and cascade stages below only ever see index/slice
+        views of it.
+        """
         n = len(reads)
         if hasattr(engine, "stages"):
             # Cascade: the cascade handles the stage survivor logic itself
             # (each stage's engine splits across its devices internally).
-            result = engine.filter_lists(reads, segments)
+            if hasattr(engine, "filter_encoded"):
+                result = engine.filter_encoded(
+                    EncodedPairBatch.from_lists(reads, segments)
+                )
+            else:  # custom cascade-like engine without the encoded protocol
+                result = engine.filter_lists(reads, segments)
             for account in result.stage_accounts:
                 stage_inputs[account.stage] = (
                     stage_inputs.get(account.stage, 0) + account.n_input
@@ -390,16 +402,28 @@ class StreamingPipeline:
                 share_timings,
             )
 
-        # Single engine: shard the chunk across devices explicitly.
+        # Single engine: shard the chunk across devices explicitly.  The chunk
+        # is encoded once, up front, only when the engine speaks the encoded
+        # protocol — a custom string-only engine keeps its single encode.
+        pairs = (
+            EncodedPairBatch.from_lists(reads, segments)
+            if hasattr(engine, "filter_encoded_share")
+            else None
+        )
         estimates = np.zeros(n, dtype=np.int32)
         accepted = np.zeros(n, dtype=bool)
         undefined = np.zeros(n, dtype=bool)
         batches = [0]
 
         def run_share(item_slice: slice, device_index: int):
-            share_est, share_acc, share_undef, share_batches = engine.filter_share(
-                reads[item_slice], segments[item_slice]
-            )
+            if pairs is not None:
+                share_est, share_acc, share_undef, share_batches = (
+                    engine.filter_encoded_share(pairs[item_slice])
+                )
+            else:  # custom engine without the encoded protocol
+                share_est, share_acc, share_undef, share_batches = (
+                    engine.filter_share(reads[item_slice], segments[item_slice])
+                )
             estimates[item_slice] = share_est
             accepted[item_slice] = share_acc
             undefined[item_slice] = share_undef

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..genomics.alphabet import UNKNOWN_BASE
+from ..genomics.encoding import EncodedPairBatch
 from ..genomics.sequence import SequencePair
 from .genome import generate_sequence
 from .mutations import apply_exact_edits
@@ -84,10 +85,31 @@ class PairDataset:
     read_length: int
     profile: PairProfile | None = None
     planned_edits: list[int] = field(default_factory=list)
+    _encoded: "EncodedPairBatch | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _encoded_key: "tuple | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.reads) != len(self.segments):
             raise ValueError("reads and segments must have the same length")
+
+    def encoded(self) -> EncodedPairBatch:
+        """The dataset's pairs encoded exactly once (cached on first call).
+
+        Filtering engines consume this batch directly, so repeated runs over
+        the same dataset (sweeps, cascades, benchmarks) never re-encode a
+        string.  The cache is keyed on a content fingerprint (Python caches
+        each string's hash, so re-validating is one cheap pass), which keeps
+        the cache correct even if the pair lists are mutated in place.
+        """
+        key = (len(self.reads), hash(tuple(self.reads)), hash(tuple(self.segments)))
+        if self._encoded is None or self._encoded_key != key:
+            self._encoded = EncodedPairBatch.from_lists(self.reads, self.segments)
+            self._encoded_key = key
+        return self._encoded
 
     def __len__(self) -> int:
         return len(self.reads)
