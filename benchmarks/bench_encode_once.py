@@ -31,6 +31,8 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import SCHEMA_VERSION  # noqa: E402
+
 from repro.engine import FilterCascade, FilterEngine, available_filters  # noqa: E402
 from repro.simulate.datasets import build_dataset  # noqa: E402
 
@@ -105,6 +107,7 @@ def main() -> int:
         raise SystemExit("cascade: strings-per-stage/encode-once decision mismatch")
 
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "n_pairs": N_PAIRS,
         "error_threshold": ERROR_THRESHOLD,
         "filters": filters,

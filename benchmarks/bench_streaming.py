@@ -26,6 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import SCHEMA_VERSION  # noqa: E402
 from repro.core.pipeline import FilteringPipeline  # noqa: E402
 from repro.engine import FilterEngine  # noqa: E402
 from repro.runtime import StreamingPipeline  # noqa: E402
@@ -72,6 +73,7 @@ def main() -> int:
         raise SystemExit("streaming/in-memory decision mismatch — benchmark aborted")
 
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "n_pairs": N_PAIRS,
         "chunk_size": CHUNK_SIZE,
         "filter": FILTER_NAME,

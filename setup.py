@@ -12,7 +12,7 @@ with open(_readme) as fh:
 
 setup(
     name="repro-gatekeeper-gpu",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "From-scratch Python reproduction of GateKeeper-GPU: fast and "
         "accurate pre-alignment filtering in short read mapping"
@@ -31,6 +31,7 @@ setup(
     },
     entry_points={
         "console_scripts": [
+            "repro=repro.cli:main",
             "repro-filter=repro.cli:filter_main",
             "repro-map=repro.cli:map_main",
             "repro-experiment=repro.cli:experiment_main",
@@ -40,6 +41,7 @@ setup(
     classifiers=[
         "Programming Language :: Python :: 3",
         "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
         "Topic :: Scientific/Engineering :: Bio-Informatics",
     ],
 )

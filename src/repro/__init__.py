@@ -8,6 +8,10 @@ most of its expensive dynamic-programming verifications.
 
 Package map
 -----------
+``repro.api``       **The front door**: declarative :class:`Workload` specs
+                    (TOML/JSON-loadable), a resident :class:`Session` that
+                    caches engines/datasets/indexes across runs, and the
+                    versioned :class:`Result` report schema.
 ``repro.genomics``  DNA alphabet, 2-bit encoding, sequence IO, reference genome.
 ``repro.filters``   GateKeeper, GateKeeper-GPU, SHD, MAGNET, Shouji, SneakySnake
                     (scalar paths plus the vectorised batch protocol).
@@ -27,16 +31,20 @@ Package map
 
 Quickstart
 ----------
->>> from repro import FilterEngine, FilterCascade, available_filters
->>> available_filters()
-['gatekeeper-gpu', 'gatekeeper', 'shd', 'magnet', 'shouji', 'sneakysnake']
->>> engine = FilterEngine("shouji", read_length=100, error_threshold=5)
->>> result = engine.filter_lists(reads, segments)          # doctest: +SKIP
->>> cascade = FilterCascade.from_names(
-...     ["gatekeeper-gpu", "sneakysnake"], read_length=100, error_threshold=5
-... )
+>>> from repro import Session, Workload
+>>> workload = Workload.from_dict({
+...     "input": {"kind": "dataset", "dataset": "Set 1", "n_pairs": 1000},
+...     "filter": {"filter": "sneakysnake", "error_threshold": 5},
+... })
+>>> result = Session().run(workload)                       # doctest: +SKIP
+>>> result.summary["n_rejected"]                           # doctest: +SKIP
+
+The lower-level layers remain available (``FilterEngine``, ``FilterCascade``,
+``FilteringPipeline``, ``StreamingPipeline``) as the machinery behind the
+session — and as deprecated direct entry points for existing code.
 """
 
+from .api import Result, Session, Workload
 from .core.config import EncodingActor
 from .core.filter import GateKeeperGPU
 from .engine import (
@@ -56,9 +64,12 @@ from .filters import (
 )
 from .runtime import StreamingPipeline, StreamingReport
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Result",
+    "Session",
+    "Workload",
     "EncodingActor",
     "GateKeeperGPU",
     "FilterCascade",

@@ -1,0 +1,53 @@
+"""Single source of truth for the package-wide default parameters.
+
+Every default that used to be duplicated across ``repro.core.config``,
+``repro.core.pipeline``, ``repro.simulate.datasets``, the CLI argument
+parsers and the streaming runtime lives here, once.  The *public* home of
+these constants is :mod:`repro.api.defaults`; this private module exists so
+that low-level packages (``repro.core``, ``repro.simulate``, ...) can import
+the values without importing :mod:`repro.api` (which sits above them in the
+layering and would create an import cycle).
+
+Nothing in this module may import from ``repro``.
+"""
+
+from __future__ import annotations
+
+#: Read length of the paper's primary data sets (bp); the compile-time
+#: default of the simulated CUDA kernel and of the mapping CLI.
+DEFAULT_READ_LENGTH = 100
+
+#: Edit-distance threshold ``e`` used by the paper's headline experiments.
+DEFAULT_ERROR_THRESHOLD = 5
+
+#: Upper bound on filtrations per kernel call (Table 1's best value) — the
+#: ``max_reads_per_batch`` of :class:`repro.core.config.SystemConfiguration`.
+DEFAULT_BATCH_SIZE = 100_000
+
+#: Pairs per chunk of the streaming runtime (peak memory is O(chunk)).
+DEFAULT_CHUNK_SIZE = 100_000
+
+#: Default pool size for scaled-down experiments (paper: 30,000,000).
+DEFAULT_N_PAIRS = 3_000
+
+#: Calibrated cost of verifying one candidate pair with the banded DP
+#: verifier on the paper's host (seconds); scales verification times to
+#: data-set sizes that are not actually executed.
+VERIFICATION_COST_PER_PAIR_S = 314.0e-9
+
+#: Seed k-mer length of the mapper index used to propose candidate pairs.
+DEFAULT_SEEDING_K = 12
+
+#: Cap on candidate locations per read when seeding real read files.
+DEFAULT_MAX_CANDIDATES_PER_READ = 2_048
+
+__all__ = [
+    "DEFAULT_READ_LENGTH",
+    "DEFAULT_ERROR_THRESHOLD",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_N_PAIRS",
+    "VERIFICATION_COST_PER_PAIR_S",
+    "DEFAULT_SEEDING_K",
+    "DEFAULT_MAX_CANDIDATES_PER_READ",
+]

@@ -29,7 +29,8 @@ from ..gpusim.device import SETUP_1, SETUP_2, SystemSetup
 from ..gpusim.power import PowerModel
 from ..gpusim.profiler import KernelProfiler
 from ..gpusim.timing import CpuTimingModel, TimingModel
-from ..mapper.mrfast import MrFastMapper, VERIFICATION_COST_PER_PAIR_S
+from .._defaults import VERIFICATION_COST_PER_PAIR_S
+from ..mapper.mrfast import MrFastMapper
 from ..simulate.datasets import build_dataset
 from ..simulate.genome import generate_reference
 from ..simulate.mutations import MutationProfile
@@ -301,6 +302,7 @@ def run_whole_genome(
     setup: SystemSetup = SETUP_1,
     encoding: EncodingActor = EncodingActor.DEVICE,
     filter_name: str = "gatekeeper-gpu",
+    n_devices: int = 1,
 ) -> WholeGenomeRun:
     """Map a simulated read set with and without pre-alignment filtering.
 
@@ -334,7 +336,7 @@ def run_whole_genome(
         read_length=read_length,
         error_threshold=error_threshold,
         setup=setup,
-        n_devices=1,
+        n_devices=n_devices,
         encoding=encoding,
     )
     filtered_mapper = MrFastMapper(

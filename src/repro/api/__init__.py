@@ -1,0 +1,78 @@
+"""The one front door: declarative workloads, a resident session, one report.
+
+After three PRs of organic growth this repository had three overlapping entry
+layers — :class:`repro.core.pipeline.FilteringPipeline`,
+:class:`repro.engine.FilterEngine` / :class:`repro.engine.FilterCascade`, and
+:class:`repro.runtime.StreamingPipeline` — each with its own constructor
+signature, CLI and report shape.  This package unifies them behind three
+types:
+
+:class:`Workload`
+    A typed, validated, declarative description of one job: input source
+    (simulated dataset, in-memory pairs, pairs TSV, or FASTQ+FASTA seeded by
+    the mapper index), filter or cascade + threshold, execution mode /
+    devices / chunking, and output options.  Loads from TOML/JSON files and
+    plain dicts.
+
+:class:`Session`
+    A resident executor that owns constructed engines, cached datasets (with
+    their encode-once :class:`~repro.genomics.encoding.EncodedPairBatch`),
+    reference genomes and seeding indexes, and runs any number of workloads
+    without rebuilding state — the object a queue worker or HTTP layer
+    mounts.
+
+:class:`Result`
+    The single versioned report schema (``schema_version``) every front end
+    emits: canonical summary keys, cascade stage accounting, streaming
+    extras, per-chunk rows.  :func:`normalize_summary` / :func:`legacy_summary`
+    bridge the pre-schema key spellings.
+
+>>> from repro.api import Session, Workload
+>>> workload = Workload.from_dict({
+...     "input": {"kind": "dataset", "dataset": "Set 1", "n_pairs": 1000},
+...     "filter": {"filter": "sneakysnake", "error_threshold": 5},
+... })
+>>> result = Session().run(workload)          # doctest: +SKIP
+>>> print(result.to_json())                   # doctest: +SKIP
+
+The legacy entry points (``FilteringPipeline``, ``StreamingPipeline``,
+``GateKeeperGPU``, the ``repro-*`` CLIs) remain importable as deprecated
+façades over the same machinery; new code should program against this
+package.
+"""
+
+from . import defaults
+from .result import (
+    LEGACY_KEY_ALIASES,
+    SCHEMA_VERSION,
+    Result,
+    legacy_summary,
+    normalize_summary,
+)
+from .session import Session
+from .workload import (
+    EXECUTION_MODES,
+    INPUT_KINDS,
+    ExecutionSpec,
+    FilterSpec,
+    InputSpec,
+    OutputSpec,
+    Workload,
+)
+
+__all__ = [
+    "defaults",
+    "SCHEMA_VERSION",
+    "LEGACY_KEY_ALIASES",
+    "Result",
+    "legacy_summary",
+    "normalize_summary",
+    "Session",
+    "Workload",
+    "InputSpec",
+    "FilterSpec",
+    "ExecutionSpec",
+    "OutputSpec",
+    "INPUT_KINDS",
+    "EXECUTION_MODES",
+]

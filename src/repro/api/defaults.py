@@ -1,0 +1,32 @@
+"""Public home of the package-wide default parameters.
+
+One source of truth for every default that used to be duplicated across
+``repro.core.config``, ``repro.core.pipeline``, ``repro.simulate.datasets``
+and the CLI parsers.  The values live in :mod:`repro._defaults` (a private,
+import-cycle-free module the low-level packages share); import them from
+here:
+
+>>> from repro.api.defaults import DEFAULT_ERROR_THRESHOLD, DEFAULT_CHUNK_SIZE
+"""
+
+from .._defaults import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_ERROR_THRESHOLD,
+    DEFAULT_MAX_CANDIDATES_PER_READ,
+    DEFAULT_N_PAIRS,
+    DEFAULT_READ_LENGTH,
+    DEFAULT_SEEDING_K,
+    VERIFICATION_COST_PER_PAIR_S,
+)
+
+__all__ = [
+    "DEFAULT_READ_LENGTH",
+    "DEFAULT_ERROR_THRESHOLD",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_N_PAIRS",
+    "VERIFICATION_COST_PER_PAIR_S",
+    "DEFAULT_SEEDING_K",
+    "DEFAULT_MAX_CANDIDATES_PER_READ",
+]

@@ -1,0 +1,287 @@
+"""The one versioned report schema every front end emits.
+
+Before this module, each layer reported through its own dictionary shape:
+``FilterRunResult.summary()`` said ``n_accepted``/``rejection_rate``,
+``PipelineReport.summary()`` said ``verification_pairs``/``reduction_pct``,
+the mapper said ``undefined_pairs``, and the ``BENCH_*.json`` payloads mixed
+all three.  :class:`Result` normalises them into a single canonical key set,
+carries ``schema_version`` so downstream consumers can detect format changes,
+and keeps per-stage cascade accounting, streaming extras and per-chunk rows
+as structured sections.
+
+:func:`normalize_summary` upgrades a legacy-keyed summary dictionary to the
+canonical spellings, and :func:`legacy_summary` is the compatibility shim
+producing the old spellings for consumers that still expect them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Result",
+    "LEGACY_KEY_ALIASES",
+    "normalize_summary",
+    "legacy_summary",
+]
+
+#: Version of the canonical report schema.  Bump on any key change.
+SCHEMA_VERSION = 1
+
+#: Legacy summary spellings -> canonical keys (the report-key drift that grew
+#: across ``repro-stream --json``, ``FilteringPipeline`` rows and the
+#: ``BENCH_*.json`` payloads).
+LEGACY_KEY_ALIASES: dict[str, str] = {
+    "verification_pairs": "n_accepted",
+    "rejected_pairs": "n_rejected",
+    "undefined_pairs": "n_undefined",
+    "dataset_name": "dataset",
+    "filter_name": "filter",
+}
+
+
+def normalize_summary(summary: dict) -> dict:
+    """Upgrade a legacy summary dict to the canonical key spellings.
+
+    Aliased keys are renamed; ``rejection_rate`` (a 0-1 fraction) is converted
+    to the canonical ``reduction_pct``; canonical keys pass through untouched.
+    """
+    out: dict[str, Any] = {}
+    for key, value in summary.items():
+        if key == "rejection_rate":
+            out["reduction_pct"] = round(100.0 * float(value), 2)
+        else:
+            out[LEGACY_KEY_ALIASES.get(key, key)] = value
+    return out
+
+
+#: Canonical -> legacy spellings emitted by :func:`legacy_summary`.  Only the
+#: count keys are re-spelt: ``dataset``/``filter`` were already the legacy
+#: summary spellings (``dataset_name``/``filter_name`` are attribute names).
+_CANONICAL_TO_LEGACY = {
+    "n_accepted": "verification_pairs",
+    "n_rejected": "rejected_pairs",
+    "n_undefined": "undefined_pairs",
+}
+
+
+def legacy_summary(summary: dict) -> dict:
+    """Compatibility shim: re-spell a canonical summary with the legacy keys."""
+    return {_CANONICAL_TO_LEGACY.get(key, key): value for key, value in summary.items()}
+
+
+def _json_safe(value):
+    """Map non-finite floats to None so dumps stay strict RFC-8259 JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+@dataclass
+class Result:
+    """Canonical, versioned outcome of one :class:`~repro.api.Workload` run.
+
+    Attributes
+    ----------
+    kind:
+        ``"filter"`` (pair filtering + verification) or ``"mapping"``
+        (whole-genome mapping rows).
+    workload:
+        The fully-resolved canonical workload dictionary
+        (:meth:`Workload.to_dict`), so every report records exactly what ran.
+    dataset / filter:
+        Run label and filter display name.
+    summary:
+        Canonical totals (see :data:`LEGACY_KEY_ALIASES` for the spelling
+        contract); JSON-equal across the in-memory and streaming paths.
+    streaming:
+        Chunking/device/overlap extras for streamed runs, else ``None``.
+    stages:
+        Per-stage cascade accounting (empty list for single filters).
+    chunks:
+        Leading per-chunk accounting rows (``None`` when not collected).
+    rows:
+        Mapping-information rows for ``kind="mapping"`` runs.
+    raw:
+        The underlying report object (``PipelineReport``, ``StreamingReport``
+        or ``WholeGenomeRun``) for programmatic consumers; never serialised.
+    wall_clock_s:
+        Measured wall-clock of the run; excluded from :meth:`as_dict` so the
+        serialised report is byte-reproducible.
+    """
+
+    kind: str
+    workload: dict
+    dataset: str
+    filter: str
+    summary: dict
+    streaming: dict | None = None
+    stages: list[dict] = field(default_factory=list)
+    chunks: list[dict] | None = None
+    rows: list[dict] | None = None
+    raw: Any = None
+    wall_clock_s: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def as_dict(self, legacy_keys: bool = False) -> dict:
+        """JSON-ready canonical view (deterministic for a deterministic run).
+
+        ``legacy_keys=True`` re-spells the summary section with the pre-schema
+        key names via :func:`legacy_summary` for old consumers.
+        """
+        summary = legacy_summary(self.summary) if legacy_keys else dict(self.summary)
+        out: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "filter": self.filter,
+            "workload": self.workload,
+            "summary": summary,
+            "streaming": self.streaming,
+            "stages": self.stages,
+        }
+        if self.chunks is not None:
+            out["chunks"] = self.chunks
+        if self.rows is not None:
+            out["rows"] = self.rows
+        return _json_safe(out)
+
+    def to_json(self, indent: int = 2, legacy_keys: bool = False) -> str:
+        """The canonical JSON serialisation (sorted keys, trailing newline)."""
+        return (
+            json.dumps(self.as_dict(legacy_keys=legacy_keys), indent=indent, sort_keys=True)
+            + "\n"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pipeline_report(
+        cls, report, workload, read_length: int, filter_name: str
+    ) -> "Result":
+        """Build from an in-memory :class:`~repro.core.pipeline.PipelineReport`."""
+        fr = report.filter_result
+        summary = {
+            "error_threshold": report.error_threshold,
+            "read_length": int(read_length),
+            "n_pairs": report.n_pairs,
+            "n_accepted": fr.n_accepted,
+            "n_rejected": fr.n_rejected,
+            "n_undefined": fr.n_undefined,
+            "reduction_pct": round(100.0 * report.reduction, 2),
+            "kernel_time_s": fr.kernel_time_s,
+            "filter_time_s": fr.filter_time_s,
+            "verification_time_s": report.verification_time_s,
+            "no_filter_verification_time_s": report.no_filter_verification_time_s,
+            "verification_speedup": round(report.verification_speedup, 3),
+            "theoretical_speedup": round(report.theoretical_speedup, 3),
+            "verified_accepts": report.verified_accepts,
+            "verified_rejects": report.verified_rejects,
+        }
+        # Measured wall clock is run-dependent; the canonical report keeps
+        # only the deterministic counts and modelled times (raw has the rest).
+        stages = [
+            {key: value for key, value in s.items() if key != "wall_clock_s"}
+            for s in getattr(fr, "stage_summaries", lambda: [])()
+        ]
+        return cls(
+            kind="filter",
+            workload=workload.to_dict(),
+            dataset=report.dataset_name,
+            filter=filter_name,
+            summary=summary,
+            streaming=None,
+            stages=stages,
+            raw=report,
+            wall_clock_s=fr.wall_clock_s + report.verification_wall_clock_s,
+        )
+
+    @classmethod
+    def from_streaming_report(cls, report, workload, stages: list[dict] | None = None) -> "Result":
+        """Build from a :class:`~repro.runtime.streaming.StreamingReport`."""
+        summary = {
+            "error_threshold": report.error_threshold,
+            "read_length": report.read_length,
+            "n_pairs": report.n_pairs,
+            "n_accepted": report.n_accepted,
+            "n_rejected": report.n_rejected,
+            "n_undefined": report.n_undefined,
+            "reduction_pct": round(100.0 * report.reduction, 2),
+            "kernel_time_s": report.kernel_time_s,
+            "filter_time_s": report.filter_time_s,
+            "verification_time_s": report.verification_time_s,
+            "no_filter_verification_time_s": report.no_filter_verification_time_s,
+            "verification_speedup": round(report.verification_speedup, 3),
+            "theoretical_speedup": round(report.theoretical_speedup, 3),
+            "verified_accepts": report.verified_accepts,
+            "verified_rejects": report.verified_rejects,
+        }
+        streaming = {
+            "chunk_size": report.chunk_size,
+            "n_chunks": report.n_chunks,
+            "n_batches": report.n_batches,
+            "n_devices": report.n_devices,
+            "serial_time_s": report.serial_time_s,
+            "overlapped_time_s": report.overlapped_time_s,
+            "overlap_speedup": round(report.overlap_speedup, 3),
+        }
+        chunks = None
+        if workload.output.include_chunks:
+            chunks = [dict(chunk.summary()) for chunk in report.chunks]
+        return cls(
+            kind="filter",
+            workload=workload.to_dict(),
+            dataset=report.dataset_name,
+            filter=report.filter_name,
+            summary=summary,
+            streaming=streaming,
+            stages=list(stages or []),
+            chunks=chunks,
+            raw=report,
+            wall_clock_s=report.wall_clock_s,
+        )
+
+    @classmethod
+    def from_mapping_run(cls, run, workload, rows: list[dict]) -> "Result":
+        """Build from a whole-genome :class:`WholeGenomeRun` (``repro-map``).
+
+        With ``input.prefilter = false`` the report describes the unfiltered
+        mapper run (``rows`` is then just the NoFilter row).
+        """
+        prefilter = workload.input.prefilter
+        mapping = run.filtered if prefilter else run.no_filter
+        stats = mapping.stats
+        summary = {
+            "error_threshold": run.error_threshold,
+            "read_length": run.read_length,
+            "n_pairs": stats.candidate_pairs,
+            "n_accepted": stats.verification_pairs,
+            "n_rejected": stats.rejected_pairs,
+            "n_undefined": stats.undefined_pairs,
+            "reduction_pct": round(100.0 * stats.reduction, 2),
+            "mappings": stats.mappings,
+            "mapped_reads": stats.mapped_reads,
+            "n_reads": stats.n_reads,
+        }
+        return cls(
+            kind="mapping",
+            workload=workload.to_dict(),
+            dataset=workload.input.display_name(),
+            filter=mapping.filter_name,
+            summary=summary,
+            rows=[dict(row) for row in rows],
+            raw=run,
+            wall_clock_s=run.filtered.times.wall_clock_s + run.no_filter.times.wall_clock_s,
+        )

@@ -1,0 +1,330 @@
+"""A resident session: build engines once, run any number of workloads.
+
+:class:`Session` is the server-shaped object behind the one front door.  It
+owns every piece of constructed state a workload run needs — filter engines
+and cascades (keyed by their full configuration), simulated pair datasets
+with their cached :class:`~repro.genomics.encoding.EncodedPairBatch`, loaded
+reference genomes and their k-mer seeding indexes — and reuses all of it
+across :meth:`run` calls, so a long-lived process (a queue worker, an HTTP
+service) pays construction cost once and filtration cost per request.
+
+Runs are pure with respect to the cached state: executing a workload never
+mutates an engine, a dataset or an index, so two workloads on one session
+produce byte-identical :class:`~repro.api.result.Result` JSON to two fresh
+sessions (locked down by ``tests/test_api_session.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .._defaults import VERIFICATION_COST_PER_PAIR_S
+from .result import Result
+from .workload import Workload
+
+__all__ = ["Session"]
+
+
+def _setup_for(name: str):
+    from ..gpusim.device import SETUP_1, SETUP_2
+
+    return {"setup1": SETUP_1, "setup2": SETUP_2}[name]
+
+
+class Session:
+    """Execute :class:`~repro.api.workload.Workload` specs against cached state.
+
+    Parameters
+    ----------
+    verification_cost_per_pair_s:
+        Calibrated per-pair DP verification cost used by the analytic model
+        (single source: :mod:`repro.api.defaults`).
+    """
+
+    def __init__(
+        self, verification_cost_per_pair_s: float = VERIFICATION_COST_PER_PAIR_S
+    ):
+        self.verification_cost_per_pair_s = verification_cost_per_pair_s
+        self._engines: dict[tuple, object] = {}
+        self._datasets: dict[tuple, object] = {}
+        self._references: dict[str, object] = {}
+        self._indexes: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cached construction
+    # ------------------------------------------------------------------ #
+    def engine_for(self, workload: Workload, read_length: int):
+        """The cached engine/cascade for a workload's filter + execution spec."""
+        ex = workload.execution
+        key = (
+            workload.filter.filters,
+            workload.filter.error_threshold,
+            int(read_length),
+            ex.setup,
+            ex.n_devices,
+            ex.encoding,
+            ex.batch_size,
+        )
+        engine = self._engines.get(key)
+        if engine is None:
+            from ..core.config import EncodingActor
+            from ..engine import FilterCascade, FilterEngine
+
+            engine_kwargs = dict(
+                read_length=int(read_length),
+                error_threshold=workload.filter.error_threshold,
+                setup=_setup_for(ex.setup),
+                n_devices=ex.n_devices,
+                encoding=EncodingActor(ex.encoding),
+                max_reads_per_batch=ex.batch_size,
+            )
+            if workload.filter.is_cascade:
+                engine = FilterCascade.from_names(
+                    list(workload.filter.filters), **engine_kwargs
+                )
+            else:
+                engine = FilterEngine(workload.filter.filters[0], **engine_kwargs)
+            self._engines[key] = engine
+        return engine
+
+    def dataset_for(self, workload: Workload):
+        """The cached simulated :class:`PairDataset` for a ``dataset`` input."""
+        spec = workload.input
+        key = (spec.dataset, spec.n_pairs, spec.seed)
+        dataset = self._datasets.get(key)
+        if dataset is None:
+            from ..simulate.datasets import build_dataset
+
+            dataset = build_dataset(str(spec.dataset), n_pairs=spec.n_pairs, seed=spec.seed)
+            self._datasets[key] = dataset
+        return dataset
+
+    def reference_for(self, path: str):
+        """The cached :class:`ReferenceGenome` loaded from a FASTA path."""
+        reference = self._references.get(path)
+        if reference is None:
+            from ..runtime.sources import load_reference
+
+            reference = load_reference(path)
+            self._references[path] = reference
+        return reference
+
+    def index_for(self, path: str, k: int):
+        """The cached seeding :class:`KmerIndex` over ``path``'s reference."""
+        key = (path, int(k))
+        index = self._indexes.get(key)
+        if index is None:
+            from ..mapper.index import KmerIndex
+
+            index = KmerIndex(self.reference_for(path), k=int(k))
+            self._indexes[key] = index
+        return index
+
+    @property
+    def cache_info(self) -> dict[str, int]:
+        """How much constructed state the session is holding."""
+        return {
+            "engines": len(self._engines),
+            "datasets": len(self._datasets),
+            "references": len(self._references),
+            "indexes": len(self._indexes),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, workload: "Workload | str | Path") -> Result:
+        """Execute one workload and return its canonical :class:`Result`.
+
+        ``workload`` may also be a path to a ``.toml`` / ``.json`` workload
+        file, as a convenience mirroring ``repro run``.
+        """
+        if isinstance(workload, (str, Path)):
+            workload = Workload.from_file(workload)
+        kind = workload.input.kind
+        if kind == "mapping":
+            return self._run_mapping(workload)
+        if workload.resolved_mode() == "memory":
+            return self._run_memory(workload)
+        return self._run_streaming(workload)
+
+    def run_all(self, workloads: Iterable[Workload]) -> list[Result]:
+        """Execute several workloads on the same resident state."""
+        return [self.run(workload) for workload in workloads]
+
+    # -- in-memory path -------------------------------------------------- #
+    def _memory_dataset(self, workload: Workload):
+        spec = workload.input
+        if spec.kind == "dataset":
+            return self.dataset_for(workload)
+        if spec.kind == "pairs":
+            from ..simulate.pairs import PairDataset
+
+            pairs = list(spec.pairs or ())
+            return PairDataset(
+                name=spec.display_name(),
+                reads=[p[0] for p in pairs],
+                segments=[p[1] for p in pairs],
+                read_length=len(pairs[0][0]),
+            )
+        raise ValueError(
+            f"workload.execution.mode: 'memory' does not support file-backed "
+            f"input kind {spec.kind!r}; use mode 'streaming' (or 'auto')"
+        )
+
+    def _run_memory(self, workload: Workload) -> Result:
+        from ..core.pipeline import FilteringPipeline
+
+        dataset = self._memory_dataset(workload)
+        engine = self.engine_for(workload, dataset.read_length)
+        pipeline = FilteringPipeline(
+            engine, verification_cost_per_pair_s=self.verification_cost_per_pair_s
+        )
+        report = pipeline.run(dataset, verify=workload.execution.verify)
+        return Result.from_pipeline_report(
+            report, workload, read_length=dataset.read_length, filter_name=engine.name
+        )
+
+    # -- streaming path -------------------------------------------------- #
+    def _streaming_pairs(self, workload: Workload) -> tuple[Iterator[tuple[str, str]], str]:
+        """The pair iterator + run name for a streaming workload."""
+        from ..runtime.sources import (
+            ensure_pairs_path,
+            pairs_from_dataset,
+            pairs_from_tsv,
+            seeded_pairs,
+        )
+
+        spec = workload.input
+        if spec.kind == "dataset":
+            return pairs_from_dataset(self.dataset_for(workload)), spec.display_name()
+        if spec.kind == "pairs":
+            return iter(list(spec.pairs or ())), spec.display_name()
+        if spec.kind == "tsv":
+            return pairs_from_tsv(ensure_pairs_path(str(spec.path))), spec.display_name()
+        # kind == "reads": seed the read file against the cached reference index.
+        reference = self.reference_for(str(spec.reference))
+        index = self.index_for(str(spec.reference), spec.seeding_k)
+        return (
+            seeded_pairs(
+                str(spec.path),
+                reference,
+                workload.filter.error_threshold,
+                k=spec.seeding_k,
+                max_candidates_per_read=spec.max_candidates_per_read,
+                index=index,
+            ),
+            spec.display_name(),
+        )
+
+    def _run_streaming(self, workload: Workload) -> Result:
+        pipeline = _session_streaming_pipeline(self, workload)
+        pairs, name = self._streaming_pairs(workload)
+        report = pipeline.run_pairs(pairs, name=name, verify=workload.execution.verify)
+        stages = self._streaming_stage_rows(pipeline.engine, report)
+        return Result.from_streaming_report(report, workload, stages=stages)
+
+    @staticmethod
+    def _streaming_stage_rows(engine, report) -> list[dict]:
+        """Cascade stage accounting reconstructed from the streamed totals.
+
+        Rows carry the same keys as the in-memory cascade accounts and —
+        per the streaming/in-memory equivalence contract — the same values:
+        stage survivors are the next stage's total input (the final stage's
+        survivors are the run's accepted total), and the per-stage modelled
+        times are the timing model evaluated on the stage's total input,
+        exactly the call ``FilterEngine.filter_encoded`` makes in memory.
+        """
+        from ..core.config import EncodingActor
+
+        stage_engines = getattr(engine, "stages", None)
+        if not stage_engines:
+            return []
+        stage_inputs = report.metadata.get("stage_inputs", {})
+        rows = []
+        for index, stage in enumerate(stage_engines):
+            if index not in stage_inputs:
+                break  # an earlier stage rejected everything in every chunk
+            n_input = int(stage_inputs[index])
+            if index + 1 in stage_inputs:
+                n_accepted = int(stage_inputs[index + 1])
+            elif index == len(stage_engines) - 1:
+                n_accepted = int(report.n_accepted)
+            else:
+                n_accepted = 0
+            timing = stage.timing_model.filter_timing(
+                n_input,
+                stage.config.read_length,
+                stage.config.error_threshold,
+                encode_on_device=stage.config.encoding is EncodingActor.DEVICE,
+                n_devices=stage.config.n_devices,
+                host_encode_threads=1,
+            )
+            rows.append(
+                {
+                    "stage": index,
+                    "filter": stage.name,
+                    "n_input": n_input,
+                    "n_accepted": n_accepted,
+                    "n_rejected": n_input - n_accepted,
+                    "kernel_time_s": timing.kernel_s,
+                    "filter_time_s": timing.filter_s,
+                }
+            )
+        return rows
+
+    # -- mapping path ---------------------------------------------------- #
+    def _run_mapping(self, workload: Workload) -> Result:
+        from ..analysis import experiments
+        from ..core.config import EncodingActor
+
+        spec = workload.input
+        run = experiments.run_whole_genome(
+            n_reads=spec.n_reads,
+            read_length=spec.read_length,
+            genome_length=spec.genome_length,
+            error_threshold=workload.filter.error_threshold,
+            seed=spec.seed,
+            setup=_setup_for(workload.execution.setup),
+            encoding=EncodingActor(workload.execution.encoding),
+            filter_name=workload.filter.filters[0],
+            n_devices=workload.execution.n_devices,
+        )
+        rows = experiments.whole_genome_mapping_rows(run)
+        if not spec.prefilter:
+            rows = rows[:1]  # just the NoFilter row
+        return Result.from_mapping_run(run, workload, rows)
+
+
+def _session_streaming_pipeline(session: Session, workload: Workload):
+    """A :class:`StreamingPipeline` whose engines come from the session cache.
+
+    The pipeline builds its engine lazily when the first chunk fixes the read
+    length; binding that resolution to :meth:`Session.engine_for` lets
+    repeated streaming workloads reuse one constructed engine/cascade.
+    """
+    from ..runtime.streaming import StreamingPipeline
+
+    class _Bound(StreamingPipeline):
+        def _engine_for(self, read_length: int):  # type: ignore[override]
+            if self.engine is None or self.engine.read_length != read_length:
+                self.engine = session.engine_for(workload, read_length)
+            return self.engine
+
+    output = workload.output
+    return _Bound(
+        list(workload.filter.filters)
+        if workload.filter.is_cascade
+        else workload.filter.filters[0],
+        chunk_size=workload.execution.chunk_size,
+        error_threshold=workload.filter.error_threshold,
+        verification_cost_per_pair_s=session.verification_cost_per_pair_s,
+        collect_decisions=output.collect_decisions,
+        collect_chunk_reports=output.include_chunks and output.max_chunk_rows > 0,
+        max_chunk_reports=output.max_chunk_rows or None,
+        # The engine itself comes from the session cache (see _engine_for
+        # above), but the pipeline still reads engine_kwargs to report the
+        # configured device count when the input turns out to be empty.
+        engine_kwargs=dict(n_devices=workload.execution.n_devices),
+    )

@@ -1,0 +1,477 @@
+"""Declarative workload specification: *what* to run, independent of *how*.
+
+A :class:`Workload` is a typed, validated description of one filtering (or
+mapping) job: where the candidate pairs come from, which filter or cascade
+examines them at which threshold, how the run executes (in memory or
+streamed, device count, chunking) and what the report should contain.  It is
+the single input type of :meth:`repro.api.Session.run`, and every CLI entry
+point is a thin translation from flags to a ``Workload``.
+
+Workloads load from TOML or JSON files (``Workload.from_file``) and from
+plain dictionaries; validation errors are :class:`ValueError` with messages
+that name the offending field (``workload.input.kind: ...``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .._defaults import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_ERROR_THRESHOLD,
+    DEFAULT_MAX_CANDIDATES_PER_READ,
+    DEFAULT_N_PAIRS,
+    DEFAULT_READ_LENGTH,
+    DEFAULT_SEEDING_K,
+)
+
+__all__ = [
+    "InputSpec",
+    "FilterSpec",
+    "ExecutionSpec",
+    "OutputSpec",
+    "Workload",
+    "INPUT_KINDS",
+    "EXECUTION_MODES",
+]
+
+#: Candidate-pair sources a workload can declare.
+INPUT_KINDS = ("dataset", "pairs", "tsv", "reads", "mapping")
+#: How the run executes; ``auto`` picks memory for in-memory sources and
+#: streaming for file-backed ones.
+EXECUTION_MODES = ("auto", "memory", "streaming")
+_SETUPS = ("setup1", "setup2")
+_ENCODINGS = ("host", "device")
+
+
+def _err(fieldpath: str, message: str) -> ValueError:
+    return ValueError(f"workload.{fieldpath}: {message}")
+
+
+def _require(condition: bool, fieldpath: str, message: str) -> None:
+    if not condition:
+        raise _err(fieldpath, message)
+
+
+def _coerce(section: str, name: str, value: Any, typ: type) -> Any:
+    """Coerce a parsed TOML/JSON value to the dataclass field type, loudly."""
+    if typ is bool:
+        if isinstance(value, bool):
+            return value
+        raise _err(f"{section}.{name}", f"expected a boolean, got {value!r}")
+    if typ is int:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise _err(f"{section}.{name}", f"expected an integer, got {value!r}")
+        if isinstance(value, float) and not value.is_integer():
+            raise _err(f"{section}.{name}", f"expected an integer, got {value!r}")
+        return int(value)
+    if typ is str:
+        if not isinstance(value, str):
+            raise _err(f"{section}.{name}", f"expected a string, got {value!r}")
+        return value
+    return value
+
+
+#: Scalar field annotations coerced (and type-checked) from parsed TOML/JSON.
+#: Annotations are strings under ``from __future__ import annotations``.
+_SCALAR_TYPES = {"int": int, "bool": bool, "str": str, int: int, bool: bool, str: str}
+
+
+def _build_section(cls, section: str, data: Mapping[str, Any], aliases=None):
+    """Instantiate a spec dataclass from a mapping, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        raise _err(section, f"expected a table/object, got {data!r}")
+    known = {f.name: f for f in fields(cls)}
+    aliases = dict(aliases or {})
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        name = aliases.get(key, key)
+        if callable(name):  # alias with a transform
+            name, value = name(value)
+        if name not in known:
+            raise _err(
+                section,
+                f"unknown key {key!r} (expected one of "
+                f"{sorted(set(known) | set(k for k in aliases))})",
+            )
+        if name in kwargs:
+            raise _err(section, f"{key!r} duplicates a value already given for {name!r}")
+        typ = _SCALAR_TYPES.get(known[name].type)
+        if typ is not None:
+            value = _coerce(section, name, value, typ)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:  # missing required field
+        raise _err(section, str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Where the candidate pairs come from.
+
+    ``kind`` selects the source and which other fields apply:
+
+    ``dataset``
+        A simulated paper data set: ``dataset`` (name), ``n_pairs``, ``seed``.
+    ``pairs``
+        In-memory ``(read, segment)`` tuples passed programmatically via
+        ``pairs`` (not loadable from TOML/JSON); ``name`` labels the run.
+    ``tsv``
+        A two-column ``read<TAB>segment`` file: ``path``.
+    ``reads``
+        A FASTQ/FASTA read file seeded against a reference FASTA:
+        ``path``, ``reference``, ``seeding_k``, ``max_candidates_per_read``.
+    ``mapping``
+        A simulated whole-genome mapping run (the ``repro-map`` workload):
+        ``n_reads``, ``read_length``, ``genome_length``, ``seed``, and
+        ``prefilter`` (``false`` reports the mapper without pre-alignment
+        filtering, the ``--no-filter`` flag).
+    """
+
+    kind: str
+    # dataset
+    dataset: str | None = None
+    n_pairs: int = DEFAULT_N_PAIRS
+    seed: int = 0
+    # tsv / reads
+    path: str | None = None
+    reference: str | None = None
+    seeding_k: int = DEFAULT_SEEDING_K
+    max_candidates_per_read: int = DEFAULT_MAX_CANDIDATES_PER_READ
+    # pairs (programmatic only)
+    pairs: Sequence[tuple[str, str]] | None = None
+    name: str | None = None
+    # mapping
+    n_reads: int = 300
+    read_length: int = DEFAULT_READ_LENGTH
+    genome_length: int = 50_000
+    prefilter: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.kind in INPUT_KINDS, "input.kind",
+                 f"unknown input kind {self.kind!r} (expected one of {list(INPUT_KINDS)})")
+        _require(self.n_pairs >= 1, "input.n_pairs", "must be at least 1")
+        _require(self.seeding_k >= 1, "input.seeding_k", "must be at least 1")
+        _require(self.max_candidates_per_read >= 1,
+                 "input.max_candidates_per_read", "must be at least 1")
+        if self.kind == "dataset":
+            from ..simulate.datasets import PAPER_DATASETS
+
+            _require(self.dataset is not None, "input.dataset",
+                     "required for kind 'dataset'")
+            _require(self.dataset in PAPER_DATASETS, "input.dataset",
+                     f"unknown dataset {self.dataset!r} "
+                     f"(available: {sorted(PAPER_DATASETS)})")
+        elif self.kind == "pairs":
+            _require(self.pairs is not None, "input.pairs",
+                     "required for kind 'pairs' (programmatic input only)")
+            _require(len(self.pairs) > 0, "input.pairs", "must not be empty")
+        elif self.kind == "tsv":
+            _require(bool(self.path), "input.path", "required for kind 'tsv'")
+        elif self.kind == "reads":
+            _require(bool(self.path), "input.path", "required for kind 'reads'")
+            _require(bool(self.reference), "input.reference",
+                     "required for kind 'reads' (FASTA to seed the reads against)")
+        elif self.kind == "mapping":
+            _require(self.n_reads >= 1, "input.n_reads", "must be at least 1")
+            _require(self.read_length >= 1, "input.read_length", "must be at least 1")
+            _require(self.genome_length >= self.read_length, "input.genome_length",
+                     "must be at least the read length")
+
+    def display_name(self) -> str:
+        """The run label reports carry (mirrors the legacy CLIs' naming)."""
+        if self.name:
+            return self.name
+        if self.kind == "dataset":
+            return str(self.dataset)
+        if self.kind in ("tsv", "reads"):
+            return Path(str(self.path)).name
+        if self.kind == "mapping":
+            return f"whole-genome({self.n_reads}x{self.read_length}bp)"
+        return "pairs"
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """Which filter (or cascade of filters) examines the pairs."""
+
+    filters: tuple[str, ...] = ("gatekeeper-gpu",)
+    error_threshold: int = DEFAULT_ERROR_THRESHOLD
+
+    def __post_init__(self) -> None:
+        filters = self.filters
+        if isinstance(filters, str):
+            filters = (filters,)
+        _require(isinstance(filters, (list, tuple)) and len(filters) > 0,
+                 "filter.filters", "expected a non-empty list of filter names")
+        filters = tuple(str(name) for name in filters)
+        object.__setattr__(self, "filters", filters)
+        from ..engine.registry import available_filters
+
+        known = available_filters()
+        for name in filters:
+            _require(name in known, "filter.filters",
+                     f"unknown filter {name!r} (available: {known})")
+        _require(self.error_threshold >= 0, "filter.error_threshold",
+                 "must be non-negative")
+
+    @property
+    def is_cascade(self) -> bool:
+        return len(self.filters) > 1
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How the run executes: mode, devices, chunking, verification."""
+
+    mode: str = "auto"
+    setup: str = "setup1"
+    n_devices: int = 1
+    encoding: str = "device"
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    batch_size: int = DEFAULT_BATCH_SIZE
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.mode in EXECUTION_MODES, "execution.mode",
+                 f"unknown mode {self.mode!r} (expected one of {list(EXECUTION_MODES)})")
+        _require(self.setup in _SETUPS, "execution.setup",
+                 f"unknown setup {self.setup!r} (expected one of {list(_SETUPS)})")
+        _require(self.encoding in _ENCODINGS, "execution.encoding",
+                 f"unknown encoding {self.encoding!r} (expected one of {list(_ENCODINGS)})")
+        _require(self.n_devices >= 1, "execution.n_devices", "must be at least 1")
+        _require(self.chunk_size >= 1, "execution.chunk_size", "must be at least 1")
+        _require(self.batch_size >= 1, "execution.batch_size", "must be at least 1")
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """What the :class:`~repro.api.result.Result` should carry.
+
+    ``collect_decisions`` keeps the concatenated per-pair
+    accept/estimate/undefined vectors on the raw streaming report
+    (``result.raw.accepted`` etc.); off by default so streamed runs stay
+    O(chunk) on unbounded inputs.
+    """
+
+    include_chunks: bool = True
+    max_chunk_rows: int = 50
+    collect_decisions: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.max_chunk_rows >= 0, "output.max_chunk_rows",
+                 "must be non-negative")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One declarative filtering/mapping job for :meth:`Session.run`."""
+
+    input: InputSpec
+    filter: FilterSpec = field(default_factory=FilterSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    output: OutputSpec = field(default_factory=OutputSpec)
+
+    def __post_init__(self) -> None:
+        # Cross-section constraints that no single spec can check alone —
+        # checked at construction so a queued workload can never be one that
+        # is guaranteed to fail at run time.
+        if self.input.kind == "mapping":
+            _require(
+                self.execution.mode != "streaming",
+                "execution.mode",
+                "kind 'mapping' always runs the in-memory mapper; "
+                "remove mode='streaming' (or use 'auto')",
+            )
+            _require(
+                not self.filter.is_cascade,
+                "filter.filters",
+                "mapping workloads take a single filter, not a cascade",
+            )
+        if self.input.kind in ("tsv", "reads"):
+            _require(
+                self.execution.mode != "memory",
+                "execution.mode",
+                f"'memory' does not support file-backed input kind "
+                f"{self.input.kind!r}; use mode 'streaming' (or 'auto')",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Workload":
+        """Build and validate a workload from a plain (TOML/JSON-shaped) dict.
+
+        The ``filter`` section accepts the conveniences the CLIs offer:
+        ``filter = "name"`` (a single filter) and ``cascade = [...]`` are
+        both aliases for ``filters``.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"workload: expected a table/object, got {data!r}")
+        known_sections = {"input", "filter", "execution", "output"}
+        unknown = set(data) - known_sections
+        if unknown:
+            raise ValueError(
+                f"workload: unknown section(s) {sorted(unknown)} "
+                f"(expected {sorted(known_sections)})"
+            )
+        if "input" not in data:
+            raise _err("input", "section is required")
+        input_spec = _build_section(InputSpec, "input", data["input"])
+        filter_data = data.get("filter", {})
+        filter_spec = _build_section(
+            FilterSpec,
+            "filter",
+            filter_data,
+            aliases={
+                "filter": lambda v: ("filters", (v,) if isinstance(v, str) else v),
+                "cascade": lambda v: ("filters", v),
+            },
+        )
+        execution = _build_section(ExecutionSpec, "execution", data.get("execution", {}))
+        output = _build_section(OutputSpec, "output", data.get("output", {}))
+        return cls(input=input_spec, filter=filter_spec,
+                   execution=execution, output=output)
+
+    @classmethod
+    def from_toml(cls, source: str | Path) -> "Workload":
+        """Load a workload from a TOML file path (or a TOML string)."""
+        import tomllib
+
+        text, label = _read_source(source, (".toml",))
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"{label}: invalid TOML: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "Workload":
+        """Load a workload from a JSON file path (or a JSON string)."""
+        text, label = _read_source(source, (".json",))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{label}: invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Workload":
+        """Load a workload file, dispatching on the ``.toml`` / ``.json`` suffix."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            return cls.from_toml(path)
+        if suffix == ".json":
+            return cls.from_json(path)
+        raise ValueError(
+            f"{path}: unrecognised workload suffix {suffix!r} "
+            "(expected .toml or .json)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Canonicalisation
+    # ------------------------------------------------------------------ #
+    def resolved_mode(self) -> str:
+        """The concrete execution mode after resolving ``auto``."""
+        if self.execution.mode != "auto":
+            return self.execution.mode
+        return "streaming" if self.input.kind in ("tsv", "reads") else "memory"
+
+    def to_dict(self) -> dict:
+        """Fully-resolved canonical dictionary recording exactly what runs.
+
+        Only the fields that *apply* are emitted — kind-irrelevant input
+        fields, ``chunk_size`` for in-memory runs, and the
+        devices/chunking/verify knobs the mapping workload does not consume
+        are all dropped — so two workloads that behave identically serialise
+        identically regardless of how they were constructed (TOML file, JSON,
+        or CLI flags), and canonicalisation is idempotent:
+        ``from_dict(w.to_dict()).to_dict() == w.to_dict()`` for every
+        serialisable kind.  The exception is ``kind="pairs"``: in-memory
+        pairs are represented by their count, so the emitted dict documents
+        the run but cannot be re-executed via ``from_dict``.
+        """
+        spec = self.input
+        input_dict: dict[str, Any] = {"kind": spec.kind}
+        if spec.kind == "dataset":
+            input_dict.update(dataset=spec.dataset, n_pairs=spec.n_pairs, seed=spec.seed)
+        elif spec.kind == "pairs":
+            input_dict.update(name=spec.display_name(), n_pairs=len(spec.pairs or ()))
+        elif spec.kind == "tsv":
+            input_dict.update(path=str(spec.path))
+        elif spec.kind == "reads":
+            input_dict.update(
+                path=str(spec.path),
+                reference=str(spec.reference),
+                seeding_k=spec.seeding_k,
+                max_candidates_per_read=spec.max_candidates_per_read,
+            )
+        elif spec.kind == "mapping":
+            input_dict.update(
+                n_reads=spec.n_reads,
+                read_length=spec.read_length,
+                genome_length=spec.genome_length,
+                seed=spec.seed,
+                prefilter=spec.prefilter,
+            )
+        mode = self.resolved_mode()
+        execution_dict: dict[str, Any] = {
+            "mode": mode,
+            "setup": self.execution.setup,
+            "n_devices": self.execution.n_devices,
+            "encoding": self.execution.encoding,
+        }
+        if mode == "streaming":
+            execution_dict["chunk_size"] = self.execution.chunk_size
+        if spec.kind != "mapping":
+            # The mapper owns its batching and always verifies; these knobs
+            # only apply to filtering workloads.
+            execution_dict["batch_size"] = self.execution.batch_size
+            execution_dict["verify"] = self.execution.verify
+        return {
+            "input": input_dict,
+            "filter": {
+                "filters": list(self.filter.filters),
+                "error_threshold": self.filter.error_threshold,
+            },
+            "execution": execution_dict,
+            "output": {
+                "include_chunks": self.output.include_chunks,
+                "max_chunk_rows": self.output.max_chunk_rows,
+                "collect_decisions": self.output.collect_decisions,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def replace(self, **sections) -> "Workload":
+        """A copy with whole sections replaced (``input=``, ``filter=``, ...)."""
+        return dataclasses.replace(self, **sections)
+
+
+def _read_source(source: str | Path, suffixes: tuple[str, ...]) -> tuple[str, str]:
+    """Read a file path, or accept inline text when it cannot be a path."""
+    if isinstance(source, Path):
+        if not source.exists():
+            raise ValueError(f"{source}: workload file not found")
+        return source.read_text(), str(source)
+    if "\n" not in source:
+        path = Path(source)
+        if path.exists():
+            return path.read_text(), str(path)
+        # A newline-free string that does not look like inline TOML/JSON
+        # content can only have been meant as a path — report it as such
+        # rather than producing a baffling parse error on the "content".
+        looks_like_content = source.lstrip()[:1] in ("{", "[") or "=" in source
+        if not looks_like_content:
+            raise ValueError(f"{source}: workload file not found")
+    return source, "<inline workload>"

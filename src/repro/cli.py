@@ -1,11 +1,15 @@
-"""Command line entry points.
+"""Command line entry points — thin adapters over :class:`repro.api.Session`.
 
-Four commands are installed with the package:
+Five commands are installed with the package:
 
+``repro``
+    The front door: ``repro run workload.toml`` executes a declarative
+    :class:`~repro.api.Workload` file and prints the canonical JSON
+    :class:`~repro.api.Result`; ``repro filter|map|stream|experiment ...``
+    dispatch to the subcommands below.
 ``repro-filter``
-    Filter a candidate-pair pool with any registered pre-alignment filter
-    (``--filter``) or a multi-stage cascade (``--cascade``), and report the
-    reduction and timing.
+    Filter a simulated candidate-pair pool with any registered filter
+    (``--filter``) or cascade (``--cascade``).
 ``repro-map``
     Run the mrFAST-like mapper over a simulated read set with or without the
     pre-alignment filter.
@@ -13,40 +17,145 @@ Four commands are installed with the package:
     Regenerate one of the paper's tables / figures by name.
 ``repro-stream``
     Stream a real FASTQ/FASTA read file (seeded against a reference) or a
-    pairs TSV through the chunked, bounded-memory
-    :class:`repro.runtime.StreamingPipeline`, sharded over ``--devices``.
+    pairs TSV through the chunked, bounded-memory streaming runtime.
+
+Every filtering/mapping command builds a :class:`~repro.api.Workload` from
+its flags and executes it on a :class:`~repro.api.Session`, so a legacy-flag
+invocation with ``--json`` and ``repro run`` on the equivalent workload file
+print byte-identical reports (locked down by
+``tests/test_api_cli_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from .analysis import experiments, format_table
-from .core.config import EncodingActor
-from .engine import FilterCascade, FilterEngine, available_filters
-from .gpusim.device import SETUP_1, SETUP_2
-from .simulate.datasets import DEFAULT_N_PAIRS, PAPER_DATASETS, build_dataset
+from .api import Result, Session, Workload
+from .api.defaults import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_ERROR_THRESHOLD,
+    DEFAULT_MAX_CANDIDATES_PER_READ,
+    DEFAULT_N_PAIRS,
+    DEFAULT_READ_LENGTH,
+    DEFAULT_SEEDING_K,
+)
+from .analysis import format_table
 
-__all__ = ["filter_main", "map_main", "experiment_main", "stream_main"]
+__all__ = ["main", "run_main", "filter_main", "map_main", "experiment_main", "stream_main"]
 
 
-def _setup(name: str):
-    return {"setup1": SETUP_1, "setup2": SETUP_2}[name]
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+def _filter_section(parser, args) -> dict:
+    """The workload ``filter`` section from ``--filter`` / ``--cascade`` flags."""
+    if getattr(args, "cascade", None):
+        names = [name.strip() for name in args.cascade.split(",") if name.strip()]
+        if len(names) < 2:
+            parser.error("--cascade needs at least two comma-separated filter names")
+        return {"filters": names, "error_threshold": args.error_threshold}
+    return {"filter": args.filter, "error_threshold": args.error_threshold}
+
+
+def _run_workload(parser, workload_dict: dict, session: Session | None = None) -> Result:
+    """Validate + execute a workload dict, reporting failures as CLI errors."""
+    try:
+        workload = Workload.from_dict(workload_dict)
+        return (session or Session()).run(workload)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(str(exc))
+
+
+def _emit_json(result: Result) -> int:
+    sys.stdout.write(result.to_json())
+    return 0
+
+
+def _print_filter_tables(result: Result) -> int:
+    print(format_table([result.summary], title=f"{result.filter} on {result.dataset}"))
+    if result.stages:
+        print()
+        print(format_table(result.stages, title="Per-stage accounting"))
+    return 0
+
+
+def _print_stream_tables(result: Result) -> int:
+    report = result.raw  # StreamingReport
+    print(format_table([result.summary], title=f"{result.filter} on {result.dataset}"))
+    print()
+    print(format_table([report.streaming_summary()], title="Streaming execution"))
+    if report.chunks:
+        print()
+        print(format_table([c.summary() for c in report.chunks], title="Per-chunk accounting"))
+        if report.n_chunks > len(report.chunks):
+            print(f"... showing first {len(report.chunks)} of {report.n_chunks} chunks")
+    return 0
+
+
+def _print_mapping_tables(result: Result) -> int:
+    print(format_table(result.rows, title="Whole-genome mapping information"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro run
+# --------------------------------------------------------------------------- #
+def run_main(argv: Sequence[str] | None = None) -> int:
+    """Execute a declarative workload file (the ``repro run`` subcommand)."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Execute a declarative TOML/JSON workload via repro.api.Session",
+    )
+    parser.add_argument("workload", help="path to a .toml or .json workload file")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON report to this file",
+    )
+    parser.add_argument(
+        "--table", action="store_true",
+        help="print human-readable tables instead of the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        workload = Workload.from_file(args.workload)
+        result = Session().run(workload)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(str(exc))
+    if args.table:
+        if result.kind == "mapping":
+            _print_mapping_tables(result)
+        elif result.streaming is not None:
+            _print_stream_tables(result)
+        else:
+            _print_filter_tables(result)
+    else:
+        _emit_json(result)
+    if args.out:
+        # After emitting, so a bad --out path cannot swallow the report.
+        try:
+            Path(args.out).write_text(result.to_json())
+        except OSError as exc:
+            parser.error(f"--out: {exc}")
+    return 0
 
 
 # --------------------------------------------------------------------------- #
 # repro-filter
 # --------------------------------------------------------------------------- #
 def filter_main(argv: Sequence[str] | None = None) -> int:
+    from .engine import available_filters
+    from .simulate.datasets import PAPER_DATASETS
+
     parser = argparse.ArgumentParser(
         description="Pre-alignment filtering with any registered filter or cascade"
     )
     parser.add_argument("--dataset", default="Set 1", choices=sorted(PAPER_DATASETS))
     parser.add_argument("--pairs", type=int, default=DEFAULT_N_PAIRS)
-    parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument("--error-threshold", type=int, default=DEFAULT_ERROR_THRESHOLD)
     parser.add_argument(
         "--filter",
         default="gatekeeper-gpu",
@@ -64,45 +173,46 @@ def filter_main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--setup", choices=["setup1", "setup2"], default="setup1")
     parser.add_argument("--devices", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verify", action="store_true",
+                        help="run the exact verification loop on the survivors")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the canonical JSON report")
     args = parser.parse_args(argv)
     if args.pairs < 1:
         parser.error("--pairs must be at least 1")
 
-    dataset = build_dataset(args.dataset, n_pairs=args.pairs, seed=args.seed)
-    engine_kwargs = dict(
-        read_length=dataset.read_length,
-        error_threshold=args.error_threshold,
-        setup=_setup(args.setup),
-        n_devices=args.devices,
-        encoding=EncodingActor(args.encoding),
-    )
-    if args.cascade:
-        names = [name.strip() for name in args.cascade.split(",") if name.strip()]
-        if len(names) < 2:
-            parser.error("--cascade needs at least two comma-separated filter names")
-        try:
-            engine = FilterCascade.from_names(names, **engine_kwargs)
-        except KeyError as exc:
-            parser.error(f"--cascade: {exc.args[0]}")
-    else:
-        engine = FilterEngine(args.filter, **engine_kwargs)
-    result = engine.filter_dataset(dataset)
-    print(format_table([result.summary()], title=f"{engine.name} on {dataset.name}"))
-    if args.cascade:
-        print()
-        print(format_table(result.stage_summaries(), title="Per-stage accounting"))
-    return 0
+    result = _run_workload(parser, {
+        "input": {
+            "kind": "dataset",
+            "dataset": args.dataset,
+            "n_pairs": args.pairs,
+            "seed": args.seed,
+        },
+        "filter": _filter_section(parser, args),
+        "execution": {
+            "mode": "memory",
+            "setup": args.setup,
+            "n_devices": args.devices,
+            "encoding": args.encoding,
+            "verify": args.verify,
+        },
+    })
+    if args.json:
+        return _emit_json(result)
+    return _print_filter_tables(result)
 
 
 # --------------------------------------------------------------------------- #
 # repro-map
 # --------------------------------------------------------------------------- #
 def map_main(argv: Sequence[str] | None = None) -> int:
+    from .engine import available_filters
+
     parser = argparse.ArgumentParser(description="mrFAST-like mapping with pre-alignment filtering")
     parser.add_argument("--reads", type=int, default=300)
-    parser.add_argument("--read-length", type=int, default=100)
+    parser.add_argument("--read-length", type=int, default=DEFAULT_READ_LENGTH)
     parser.add_argument("--genome-length", type=int, default=50_000)
-    parser.add_argument("--error-threshold", type=int, default=5)
+    parser.add_argument("--error-threshold", type=int, default=DEFAULT_ERROR_THRESHOLD)
     parser.add_argument(
         "--filter",
         default="gatekeeper-gpu",
@@ -111,21 +221,24 @@ def map_main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--no-filter", action="store_true", help="disable pre-alignment filtering")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the canonical JSON report")
     args = parser.parse_args(argv)
 
-    run = experiments.run_whole_genome(
-        n_reads=args.reads,
-        read_length=args.read_length,
-        genome_length=args.genome_length,
-        error_threshold=args.error_threshold,
-        seed=args.seed,
-        filter_name=args.filter,
-    )
-    rows = experiments.whole_genome_mapping_rows(run)
-    if args.no_filter:
-        rows = rows[:1]
-    print(format_table(rows, title="Whole-genome mapping information"))
-    return 0
+    result = _run_workload(parser, {
+        "input": {
+            "kind": "mapping",
+            "n_reads": args.reads,
+            "read_length": args.read_length,
+            "genome_length": args.genome_length,
+            "seed": args.seed,
+            "prefilter": not args.no_filter,
+        },
+        "filter": {"filter": args.filter, "error_threshold": args.error_threshold},
+    })
+    if args.json:
+        return _emit_json(result)
+    return _print_mapping_tables(result)
 
 
 # --------------------------------------------------------------------------- #
@@ -133,6 +246,8 @@ def map_main(argv: Sequence[str] | None = None) -> int:
 # --------------------------------------------------------------------------- #
 def stream_main(argv: Sequence[str] | None = None) -> int:
     """Chunked streaming filtration of real FASTQ/FASTA (or pairs-TSV) inputs."""
+    from .engine import available_filters
+
     parser = argparse.ArgumentParser(
         description=(
             "Stream candidate pairs from files through a pre-alignment filter "
@@ -163,20 +278,22 @@ def stream_main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated filter names run as a cascade "
         "(cheapest first; overrides --filter)",
     )
-    parser.add_argument("--error-threshold", type=int, default=5)
-    parser.add_argument("--chunk-size", type=int, default=100_000)
+    parser.add_argument("--error-threshold", type=int, default=DEFAULT_ERROR_THRESHOLD)
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
     parser.add_argument("--devices", type=int, default=1)
     parser.add_argument("--setup", choices=["setup1", "setup2"], default="setup1")
     parser.add_argument("--encoding", choices=["host", "device"], default="device")
-    parser.add_argument("--seeding-k", type=int, default=12, help="seed k-mer length")
+    parser.add_argument("--seeding-k", type=int, default=DEFAULT_SEEDING_K,
+                        help="seed k-mer length")
     parser.add_argument(
-        "--max-candidates", type=int, default=2048, help="candidate cap per read"
+        "--max-candidates", type=int, default=DEFAULT_MAX_CANDIDATES_PER_READ,
+        help="candidate cap per read",
     )
     parser.add_argument(
         "--no-verify", action="store_true", help="skip the exact verification loop"
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the full report as JSON"
+        "--json", action="store_true", help="emit the canonical JSON report"
     )
     parser.add_argument(
         "--max-chunk-rows",
@@ -189,90 +306,116 @@ def stream_main(argv: Sequence[str] | None = None) -> int:
         parser.error("--chunk-size must be at least 1")
     if args.devices < 1:
         parser.error("--devices must be at least 1")
-
-    from .runtime import StreamingPipeline
-
-    if args.cascade:
-        names = [name.strip() for name in args.cascade.split(",") if name.strip()]
-        if len(names) < 2:
-            parser.error("--cascade needs at least two comma-separated filter names")
-        spec: object = names
-    else:
-        spec = args.filter
     if args.max_chunk_rows < 0:
         parser.error("--max-chunk-rows must be non-negative")
-    pipeline = StreamingPipeline(
-        spec,
-        chunk_size=args.chunk_size,
-        error_threshold=args.error_threshold,
-        # The CLI only reports totals, so keep the run truly O(chunk): no
-        # concatenated per-pair decision vectors, and only the first
-        # --max-chunk-rows per-chunk accounting rows.
-        collect_decisions=False,
-        collect_chunk_reports=args.max_chunk_rows > 0,
-        max_chunk_reports=args.max_chunk_rows,
-        engine_kwargs=dict(
-            setup=_setup(args.setup),
-            n_devices=args.devices,
-            encoding=EncodingActor(args.encoding),
-        ),
-    )
-    try:
-        report = pipeline.run_file(
-            args.input,
-            reference=args.reference,
-            verify=not args.no_verify,
-            seeding_k=args.seeding_k,
-            max_candidates_per_read=args.max_candidates,
-        )
-    except (OSError, ValueError) as exc:
-        parser.error(str(exc))
 
+    if args.reference is not None:
+        input_section = {
+            "kind": "reads",
+            "path": args.input,
+            "reference": args.reference,
+            "seeding_k": args.seeding_k,
+            "max_candidates_per_read": args.max_candidates,
+        }
+    else:
+        # The Session's tsv source rejects read files with the actionable
+        # "pass a reference FASTA" message (repro.runtime.sources).
+        input_section = {"kind": "tsv", "path": args.input}
+
+    result = _run_workload(parser, {
+        "input": input_section,
+        "filter": _filter_section(parser, args),
+        "execution": {
+            "mode": "streaming",
+            "setup": args.setup,
+            "n_devices": args.devices,
+            "encoding": args.encoding,
+            "chunk_size": args.chunk_size,
+            "verify": not args.no_verify,
+        },
+        "output": {
+            "include_chunks": args.max_chunk_rows > 0,
+            "max_chunk_rows": args.max_chunk_rows,
+        },
+    })
     if args.json:
-        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
-        return 0
-    print(format_table([report.summary()], title=f"{report.filter_name} on {report.dataset_name}"))
-    print()
-    print(format_table([report.streaming_summary()], title="Streaming execution"))
-    if report.chunks:
-        print()
-        print(format_table([c.summary() for c in report.chunks], title="Per-chunk accounting"))
-        if report.n_chunks > len(report.chunks):
-            print(f"... showing first {len(report.chunks)} of {report.n_chunks} chunks")
-    return 0
+        return _emit_json(result)
+    return _print_stream_tables(result)
 
 
 # --------------------------------------------------------------------------- #
 # repro-experiment
 # --------------------------------------------------------------------------- #
-_EXPERIMENTS = {
-    "table1": lambda: experiments.table1_batch_size_rows(),
-    "table2": lambda: experiments.table2_throughput_rows(),
-    "table4": lambda: experiments.table4_speedup_rows(reduction=0.90),
-    "table5": lambda: experiments.table5_overall_rows(reduction=0.90),
-    "table6": lambda: experiments.table6_power_rows(),
-    "fig4": lambda: experiments.false_accept_rows(
-        build_dataset("Set 3", n_pairs=1_000), thresholds=range(0, 11)
-    ),
-    "fig5": lambda: experiments.filter_comparison_rows(
-        build_dataset("Set 1", n_pairs=300), thresholds=(0, 2, 5, 10), max_pairs=300
-    ),
-    "fig6": lambda: experiments.encoding_actor_rows(),
-    "fig7": lambda: experiments.read_length_rows(),
-    "fig8": lambda: experiments.multi_gpu_rows(),
-    "figS12": lambda: experiments.error_threshold_filter_time_rows(),
-    "occupancy": lambda: experiments.occupancy_rows(),
-}
+def _experiments():
+    from .analysis import experiments
+    from .simulate.datasets import build_dataset
+
+    return {
+        "table1": lambda: experiments.table1_batch_size_rows(),
+        "table2": lambda: experiments.table2_throughput_rows(),
+        "table4": lambda: experiments.table4_speedup_rows(reduction=0.90),
+        "table5": lambda: experiments.table5_overall_rows(reduction=0.90),
+        "table6": lambda: experiments.table6_power_rows(),
+        "fig4": lambda: experiments.false_accept_rows(
+            build_dataset("Set 3", n_pairs=1_000), thresholds=range(0, 11)
+        ),
+        "fig5": lambda: experiments.filter_comparison_rows(
+            build_dataset("Set 1", n_pairs=300), thresholds=(0, 2, 5, 10), max_pairs=300
+        ),
+        "fig6": lambda: experiments.encoding_actor_rows(),
+        "fig7": lambda: experiments.read_length_rows(),
+        "fig8": lambda: experiments.multi_gpu_rows(),
+        "figS12": lambda: experiments.error_threshold_filter_time_rows(),
+        "occupancy": lambda: experiments.occupancy_rows(),
+    }
 
 
 def experiment_main(argv: Sequence[str] | None = None) -> int:
+    experiments = _experiments()
     parser = argparse.ArgumentParser(description="Regenerate a table/figure from the paper")
-    parser.add_argument("name", choices=sorted(_EXPERIMENTS), help="experiment to run")
+    parser.add_argument("name", choices=sorted(experiments), help="experiment to run")
     args = parser.parse_args(argv)
-    rows = _EXPERIMENTS[args.name]()
+    rows = experiments[args.name]()
     print(format_table(rows, title=f"Reproduction of {args.name}"))
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# repro (dispatcher)
+# --------------------------------------------------------------------------- #
+_COMMANDS = {
+    "run": run_main,
+    "filter": filter_main,
+    "map": map_main,
+    "stream": stream_main,
+    "experiment": experiment_main,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """The ``repro`` umbrella command: dispatch to a subcommand."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    usage = (
+        "usage: repro {run,filter,map,stream,experiment} ...\n\n"
+        "  run         execute a declarative TOML/JSON workload file\n"
+        "  filter      filter a simulated candidate-pair pool\n"
+        "  map         run the mrFAST-like mapper on simulated reads\n"
+        "  stream      stream real FASTQ/FASTA or pairs-TSV inputs\n"
+        "  experiment  regenerate one of the paper's tables/figures\n"
+    )
+    if not argv:
+        print(usage, file=sys.stderr)
+        return 2
+    if argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0
+    command = argv[0]
+    if command not in _COMMANDS:
+        print(usage, file=sys.stderr)
+        print(f"repro: unknown command {command!r}", file=sys.stderr)
+        return 2
+    return _COMMANDS[command](argv[1:])
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(experiment_main())
+    sys.exit(main())

@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from .._defaults import DEFAULT_BATCH_SIZE as _DEFAULT_BATCH_SIZE
 from ..gpusim.device import DeviceSpec, GTX_1080_TI, SystemSetup
 from ..gpusim.launch import KernelLaunchConfig, configure_launch, thread_load_bytes
 
@@ -40,7 +41,8 @@ class SystemConfiguration:
         Whether the host or the device encodes the sequences.
     max_reads_per_batch:
         Upper bound on reads per batch when integrated in a mapper
-        (Table 1 studies this knob; 100,000 is the paper's best value).
+        (Table 1 studies this knob; :data:`repro.api.defaults.DEFAULT_BATCH_SIZE`
+        — 100,000 — is the paper's best value).
     word_bits:
         Machine word width used for the encoded bit-vectors.
     """
@@ -49,7 +51,7 @@ class SystemConfiguration:
     error_threshold: int
     devices: list[DeviceSpec] = field(default_factory=lambda: [GTX_1080_TI])
     encoding: EncodingActor = EncodingActor.DEVICE
-    max_reads_per_batch: int = 100_000
+    max_reads_per_batch: int = _DEFAULT_BATCH_SIZE
     word_bits: int = 64
 
     def __post_init__(self) -> None:
@@ -75,7 +77,7 @@ class SystemConfiguration:
         error_threshold: int,
         n_devices: int = 1,
         encoding: EncodingActor = EncodingActor.DEVICE,
-        max_reads_per_batch: int = 100_000,
+        max_reads_per_batch: int = _DEFAULT_BATCH_SIZE,
     ) -> "SystemConfiguration":
         """Configuration for one of the paper's experimental setups."""
         return cls(

@@ -1,5 +1,12 @@
 """End-to-end pre-alignment filtering pipeline (filter + verification).
 
+.. deprecated::
+    :class:`FilteringPipeline` remains fully functional but is a legacy
+    façade: new code should declare a :class:`repro.api.Workload` and execute
+    it on a :class:`repro.api.Session`, which drives this machinery (and the
+    streaming runtime) behind one typed entry point and emits the versioned
+    :class:`repro.api.Result` schema.
+
 This is the standalone driver used by the experiments that do not need the
 full mapper: it runs a candidate-pair pool through a pre-alignment filter,
 verifies the surviving pairs with the exact verifier, and accounts for how
@@ -17,12 +24,15 @@ dataset fixes the read length.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
+from .._defaults import DEFAULT_CHUNK_SIZE
+from .._defaults import VERIFICATION_COST_PER_PAIR_S as _VERIFICATION_COST_PER_PAIR_S
 from ..align.verification import Verifier
 from ..filters.base import PreAlignmentFilter
 from ..gpusim.timing import FilterTiming
@@ -31,11 +41,19 @@ from .results import FilterRunResult
 
 __all__ = ["PipelineReport", "FilteringPipeline", "resolve_error_threshold"]
 
-#: Calibrated cost of verifying one candidate pair with the banded DP verifier
-#: on the paper's host (seconds); used to scale verification times to data-set
-#: sizes that are not actually executed.  The single source for this constant:
-#: the mapper and the streaming runtime import it from here.
-VERIFICATION_COST_PER_PAIR_S = 314.0e-9
+
+def __getattr__(name: str):
+    # The calibrated per-pair verification cost used to be defined here; its
+    # single source of truth is now repro.api.defaults (repro._defaults).
+    if name == "VERIFICATION_COST_PER_PAIR_S":
+        warnings.warn(
+            "repro.core.pipeline.VERIFICATION_COST_PER_PAIR_S is deprecated; "
+            "use repro.api.defaults.VERIFICATION_COST_PER_PAIR_S instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _VERIFICATION_COST_PER_PAIR_S
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def resolve_error_threshold(engine, error_threshold: int | None) -> int:
@@ -145,7 +163,7 @@ class FilteringPipeline:
         self,
         engine,
         verifier: Verifier | None = None,
-        verification_cost_per_pair_s: float = VERIFICATION_COST_PER_PAIR_S,
+        verification_cost_per_pair_s: float = _VERIFICATION_COST_PER_PAIR_S,
         error_threshold: int | None = None,
     ):
         self.engine = engine
@@ -187,7 +205,7 @@ class FilteringPipeline:
         self,
         dataset: "PairDataset | str | Path | Iterable[tuple[str, str]]",
         verify: bool = True,
-        chunk_size: int = 100_000,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
         reference: "str | Path | None" = None,
         collect_decisions: bool = True,
     ):
@@ -257,7 +275,7 @@ class FilteringPipeline:
         self,
         source: "str | Path | PairDataset | Iterable[tuple[str, str]]",
         verify: bool = True,
-        chunk_size: int = 100_000,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
         reference: "str | Path | None" = None,
         name: str | None = None,
         collect_decisions: bool = True,

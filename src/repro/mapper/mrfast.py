@@ -33,8 +33,8 @@ from .stats import MappingStats, MappingTimes
 
 __all__ = ["MappingRunResult", "MrFastMapper"]
 
-#: Calibrated per-pair verification cost (single source: repro.core.pipeline).
-from ..core.pipeline import VERIFICATION_COST_PER_PAIR_S  # noqa: E402
+#: Calibrated per-pair verification cost (single source: repro.api.defaults).
+from .._defaults import VERIFICATION_COST_PER_PAIR_S  # noqa: E402
 #: Modelled per-read seeding cost (hash lookups + candidate merging).
 SEEDING_COST_PER_READ_S = 2.0e-6
 #: Modelled per-pair host-side preprocessing cost of the GPU filter integration.

@@ -23,6 +23,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from .._defaults import DEFAULT_MAX_CANDIDATES_PER_READ, DEFAULT_SEEDING_K
 from ..genomics.fasta import iter_fasta, read_fasta
 from ..genomics.fastq import iter_fastq
 from ..genomics.opener import open_text
@@ -32,6 +33,7 @@ from ..mapper.index import KmerIndex
 from ..mapper.seeding import Seeder
 
 __all__ = [
+    "ensure_pairs_path",
     "iter_reads",
     "load_reference",
     "pairs_from_dataset",
@@ -52,6 +54,26 @@ def _format_suffix(path: str | Path) -> str:
     if suffixes and suffixes[-1] == ".gz":
         suffixes = suffixes[:-1]
     return suffixes[-1].lower() if suffixes else ""
+
+
+def ensure_pairs_path(path: str | Path) -> Path:
+    """Reject a FASTQ/FASTA path where a two-column pairs file is expected.
+
+    The one home of this guard: the streaming pipeline, the Session's
+    ``tsv`` input and ``repro-stream`` all route through it, so a read file
+    passed without a reference fails with the same actionable message
+    everywhere instead of a confusing parse error inside the TSV reader.
+    """
+    path = Path(path)
+    suffix = _format_suffix(path)
+    if suffix in FASTQ_SUFFIXES | FASTA_SUFFIXES:
+        raise ValueError(
+            f"{path}: looks like a read file ({suffix}); pass a "
+            f"reference FASTA to seed candidate pairs against, or use "
+            f"a two-column pairs file ({', '.join(sorted(PAIRS_SUFFIXES))}) "
+            f"as the input"
+        )
+    return path
 
 
 def iter_reads(path: str | Path) -> Iterator[Read]:
@@ -118,8 +140,9 @@ def seeded_pairs(
     reads: Iterable[Read | Sequence | str] | str | Path,
     reference: ReferenceGenome | str | Path,
     error_threshold: int,
-    k: int = 12,
-    max_candidates_per_read: int = 2048,
+    k: int = DEFAULT_SEEDING_K,
+    max_candidates_per_read: int = DEFAULT_MAX_CANDIDATES_PER_READ,
+    index: KmerIndex | None = None,
 ) -> Iterator[tuple[str, str]]:
     """Stream candidate pairs proposed by the mapper index (seed-and-extend).
 
@@ -128,13 +151,16 @@ def seeded_pairs(
     pair, exactly the pool an mrFAST-style mapper would hand to the
     pre-alignment filter.  ``reads`` may be a FASTQ/FASTA path or any
     iterable of read records / strings; the index is built once, the reads
-    are never materialised as a list.
+    are never materialised as a list.  A prebuilt ``index`` over the same
+    reference (e.g. a :class:`repro.api.Session` cache entry) skips the
+    index construction entirely.
     """
     if isinstance(reads, (str, Path)):
         reads = iter_reads(reads)
     if isinstance(reference, (str, Path)):
         reference = load_reference(reference)
-    index = KmerIndex(reference, k=k)
+    if index is None:
+        index = KmerIndex(reference, k=k)
     seeder = Seeder(index, error_threshold, max_candidates_per_read)
     for read in reads:
         bases = read if isinstance(read, str) else read.bases

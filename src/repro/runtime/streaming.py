@@ -1,5 +1,13 @@
 """Chunked, bounded-memory streaming execution of the filtering pipeline.
 
+.. deprecated::
+    :class:`StreamingPipeline` remains fully functional but is a legacy
+    façade: new code should declare a file-backed :class:`repro.api.Workload`
+    (``input.kind = "reads"`` / ``"tsv"``) and execute it on a
+    :class:`repro.api.Session`, which drives this runtime with cached
+    engines/references/indexes and emits the versioned
+    :class:`repro.api.Result` schema.
+
 :class:`StreamingPipeline` is the file-backed counterpart of
 :class:`repro.core.pipeline.FilteringPipeline`: instead of a fully
 materialised :class:`~repro.simulate.pairs.PairDataset` it consumes any
@@ -39,19 +47,17 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from .._defaults import DEFAULT_CHUNK_SIZE, VERIFICATION_COST_PER_PAIR_S
 from ..align.verification import Verifier
 from ..core.config import EncodingActor
-from ..core.pipeline import VERIFICATION_COST_PER_PAIR_S, resolve_error_threshold
+from ..core.pipeline import resolve_error_threshold
 from ..filters.base import PreAlignmentFilter
 from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.multi_gpu import MultiGpuDispatcher, split_evenly
 from ..gpusim.stream import StreamPool
 from ..gpusim.timing import FilterTiming
 from .sources import (
-    FASTA_SUFFIXES,
-    FASTQ_SUFFIXES,
-    PAIRS_SUFFIXES,
-    _format_suffix,
+    ensure_pairs_path,
     pairs_from_dataset,
     pairs_from_tsv,
     seeded_pairs,
@@ -261,7 +267,7 @@ class StreamingPipeline:
     def __init__(
         self,
         engine,
-        chunk_size: int = 100_000,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
         verifier: Verifier | None = None,
         error_threshold: int | None = None,
         verification_cost_per_pair_s: float = VERIFICATION_COST_PER_PAIR_S,
@@ -671,13 +677,5 @@ class StreamingPipeline:
                 max_candidates_per_read=max_candidates_per_read,
             )
         else:
-            suffix = _format_suffix(input_path)
-            if suffix in FASTQ_SUFFIXES | FASTA_SUFFIXES:
-                raise ValueError(
-                    f"{input_path}: looks like a read file ({suffix}); pass a "
-                    f"reference FASTA to seed candidate pairs against, or use "
-                    f"a two-column pairs file ({', '.join(sorted(PAIRS_SUFFIXES))}) "
-                    f"as the input"
-                )
-            pairs = pairs_from_tsv(input_path)
+            pairs = pairs_from_tsv(ensure_pairs_path(input_path))
         return self.run_pairs(pairs, name=name or input_path.name, verify=verify)

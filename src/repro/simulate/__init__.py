@@ -1,6 +1,7 @@
 """Synthetic data substrate: genomes, reads and candidate-pair pools."""
 
-from .datasets import DEFAULT_N_PAIRS, PAPER_DATASETS, DatasetSpec, build_dataset
+from .._defaults import DEFAULT_N_PAIRS
+from .datasets import PAPER_DATASETS, DatasetSpec, build_dataset
 from .genome import GenomeProfile, generate_reference, generate_sequence
 from .mutations import MutationProfile, apply_exact_edits, apply_profile
 from .pairs import (

@@ -347,7 +347,7 @@ class TestCli:
 
         assert filter_main(["--filter", "shouji", "--pairs", "150"]) == 0
         out = capsys.readouterr().out
-        assert "Shouji" in out and "rejection_rate" in out
+        assert "Shouji" in out and "reduction_pct" in out
 
     def test_filter_cli_with_cascade(self, capsys):
         from repro.cli import filter_main

@@ -175,9 +175,16 @@ class TestStreamCli:
         in_memory = FilteringPipeline(
             "sneakysnake", error_threshold=FIXTURE["error_threshold"]
         ).run(golden_dataset)
-        expected = _json_roundtrip(in_memory.summary())
-        expected["dataset"] = "golden_reads.fastq"  # CLI names the run after the file
-        assert payload["summary"] == expected
+        # The CLI emits the canonical repro.api.Result schema; its summary
+        # totals must match the in-memory pipeline's (legacy-keyed) summary.
+        from repro.api import SCHEMA_VERSION, normalize_summary
+
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["dataset"] == "golden_reads.fastq"  # named after the file
+        expected = _json_roundtrip(normalize_summary(in_memory.summary()))
+        expected.pop("dataset")
+        for key, value in expected.items():
+            assert payload["summary"][key] == value, key
 
     def test_cli_cascade_table_output(self, capsys):
         from repro.cli import stream_main
