@@ -19,6 +19,10 @@ Package map
                     (:func:`get_filter` / :func:`available_filters`),
                     :class:`FilterEngine` (any filter, batched + device-split +
                     timing-modelled) and :class:`FilterCascade`.
+``repro.exec``      Execution backends: serial / thread-pool / process-pool
+                    executors with shared-memory ``EncodedPairBatch`` transport
+                    and deterministic share fan-out (results byte-identical
+                    across backends and worker counts).
 ``repro.align``     Exact edit distance (Edlib-equivalent), NW, SW, verification.
 ``repro.simulate``  Synthetic genomes, Mason-like reads, candidate-pair pools.
 ``repro.gpusim``    Simulated GPU: devices, unified memory, occupancy, timing, power.

@@ -50,6 +50,7 @@ class Session:
         self._datasets: dict[tuple, object] = {}
         self._references: dict[str, object] = {}
         self._indexes: dict[tuple, object] = {}
+        self._executors: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------ #
     # Cached construction
@@ -121,6 +122,43 @@ class Session:
             self._indexes[key] = index
         return index
 
+    def executor_for(self, workload: Workload):
+        """The cached execution backend for a workload's execution spec.
+
+        ``executor = "serial"`` with one worker returns ``None`` — the layers
+        below treat that as plain in-line execution with zero dispatch
+        overhead.  Pools (threads/processes) are built once per
+        ``(backend, workers)`` configuration and live until :meth:`close`.
+        """
+        ex = workload.execution
+        if ex.executor == "serial" and ex.workers <= 1:
+            return None
+        key = (ex.executor, ex.workers)
+        executor = self._executors.get(key)
+        if executor is None:
+            from ..exec import create_executor
+
+            executor = create_executor(ex.executor, ex.workers)
+            self._executors[key] = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut down every cached execution backend (pools, shared memory).
+
+        Idempotent; the construction caches (engines, datasets, references,
+        indexes) survive so the session remains usable — a subsequent
+        parallel run simply builds a fresh pool.
+        """
+        executors, self._executors = self._executors, {}
+        for executor in executors.values():
+            executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @property
     def cache_info(self) -> dict[str, int]:
         """How much constructed state the session is holding."""
@@ -129,6 +167,7 @@ class Session:
             "datasets": len(self._datasets),
             "references": len(self._references),
             "indexes": len(self._indexes),
+            "executors": len(self._executors),
         }
 
     # ------------------------------------------------------------------ #
@@ -179,7 +218,9 @@ class Session:
         dataset = self._memory_dataset(workload)
         engine = self.engine_for(workload, dataset.read_length)
         pipeline = FilteringPipeline(
-            engine, verification_cost_per_pair_s=self.verification_cost_per_pair_s
+            engine,
+            verification_cost_per_pair_s=self.verification_cost_per_pair_s,
+            executor=self.executor_for(workload),
         )
         report = pipeline.run(dataset, verify=workload.execution.verify)
         return Result.from_pipeline_report(
@@ -323,6 +364,8 @@ def _session_streaming_pipeline(session: Session, workload: Workload):
         collect_decisions=output.collect_decisions,
         collect_chunk_reports=output.include_chunks and output.max_chunk_rows > 0,
         max_chunk_reports=output.max_chunk_rows or None,
+        executor=session.executor_for(workload),
+        prefetch=workload.execution.prefetch,
         # The engine itself comes from the session cache (see _engine_for
         # above), but the pipeline still reads engine_kwargs to report the
         # configured device count when the input turns out to be empty.

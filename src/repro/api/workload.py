@@ -228,7 +228,17 @@ class FilterSpec:
 
 @dataclass(frozen=True)
 class ExecutionSpec:
-    """How the run executes: mode, devices, chunking, verification."""
+    """How the run executes: mode, devices, chunking, verification, backend.
+
+    ``executor`` / ``workers`` / ``prefetch`` select the host-side execution
+    backend (:mod:`repro.exec`): ``serial`` (default), ``threads`` or
+    ``processes`` with ``workers`` pool slots, and — for streamed runs — a
+    prefetching producer thread that parses/encodes chunk ``N + 1`` while
+    chunk ``N`` filters.  These knobs change *how fast* a workload runs,
+    never *what* it computes: results are byte-identical across backends and
+    worker counts, which is why (like measured wall clock) they are excluded
+    from the canonical :meth:`Workload.to_dict` record.
+    """
 
     mode: str = "auto"
     setup: str = "setup1"
@@ -237,8 +247,13 @@ class ExecutionSpec:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     batch_size: int = DEFAULT_BATCH_SIZE
     verify: bool = True
+    executor: str = "serial"
+    workers: int = 1
+    prefetch: bool = False
 
     def __post_init__(self) -> None:
+        from ..exec.executor import EXECUTOR_KINDS
+
         _require(self.mode in EXECUTION_MODES, "execution.mode",
                  f"unknown mode {self.mode!r} (expected one of {list(EXECUTION_MODES)})")
         _require(self.setup in _SETUPS, "execution.setup",
@@ -248,6 +263,10 @@ class ExecutionSpec:
         _require(self.n_devices >= 1, "execution.n_devices", "must be at least 1")
         _require(self.chunk_size >= 1, "execution.chunk_size", "must be at least 1")
         _require(self.batch_size >= 1, "execution.batch_size", "must be at least 1")
+        _require(self.executor in EXECUTOR_KINDS, "execution.executor",
+                 f"unknown executor {self.executor!r} "
+                 f"(expected one of {list(EXECUTOR_KINDS)})")
+        _require(self.workers >= 1, "execution.workers", "must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -393,7 +412,10 @@ class Workload:
         devices/chunking/verify knobs the mapping workload does not consume
         are all dropped — so two workloads that behave identically serialise
         identically regardless of how they were constructed (TOML file, JSON,
-        or CLI flags), and canonicalisation is idempotent:
+        or CLI flags).  The ``executor`` / ``workers`` / ``prefetch`` backend
+        knobs are excluded too: they never change a result (byte-identical
+        across backends), so workloads differing only in backend produce
+        byte-identical reports.  Canonicalisation is idempotent:
         ``from_dict(w.to_dict()).to_dict() == w.to_dict()`` for every
         serialisable kind.  The exception is ``kind="pairs"``: in-memory
         pairs are represented by their count, so the emitted dict documents

@@ -60,11 +60,37 @@ def _filter_section(parser, args) -> dict:
     return {"filter": args.filter, "error_threshold": args.error_threshold}
 
 
+def _add_executor_flags(parser, streaming: bool = False) -> None:
+    """The execution-backend flags shared by repro-filter and repro-stream."""
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        default="serial",
+        help="execution backend for the filtration (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the threads/processes backends (default: 1)",
+    )
+    if streaming:
+        parser.add_argument(
+            "--prefetch", action="store_true",
+            help="parse+encode chunk N+1 in a producer thread while chunk N filters",
+        )
+
+
 def _run_workload(parser, workload_dict: dict, session: Session | None = None) -> Result:
-    """Validate + execute a workload dict, reporting failures as CLI errors."""
+    """Validate + execute a workload dict, reporting failures as CLI errors.
+
+    A session created here is closed before returning, so worker pools from
+    ``--executor threads|processes`` never outlive the command.
+    """
     try:
         workload = Workload.from_dict(workload_dict)
-        return (session or Session()).run(workload)
+        if session is not None:
+            return session.run(workload)
+        with Session() as own_session:
+            return own_session.run(workload)
     except (OSError, ValueError, KeyError) as exc:
         parser.error(str(exc))
 
@@ -122,7 +148,8 @@ def run_main(argv: Sequence[str] | None = None) -> int:
 
     try:
         workload = Workload.from_file(args.workload)
-        result = Session().run(workload)
+        with Session() as session:
+            result = session.run(workload)
     except (OSError, ValueError, KeyError) as exc:
         parser.error(str(exc))
     if args.table:
@@ -177,6 +204,7 @@ def filter_main(argv: Sequence[str] | None = None) -> int:
                         help="run the exact verification loop on the survivors")
     parser.add_argument("--json", action="store_true",
                         help="emit the canonical JSON report")
+    _add_executor_flags(parser)
     args = parser.parse_args(argv)
     if args.pairs < 1:
         parser.error("--pairs must be at least 1")
@@ -195,6 +223,8 @@ def filter_main(argv: Sequence[str] | None = None) -> int:
             "n_devices": args.devices,
             "encoding": args.encoding,
             "verify": args.verify,
+            "executor": args.executor,
+            "workers": args.workers,
         },
     })
     if args.json:
@@ -301,6 +331,7 @@ def stream_main(argv: Sequence[str] | None = None) -> int:
         default=50,
         help="per-chunk accounting rows to keep/print (0 disables; default 50)",
     )
+    _add_executor_flags(parser, streaming=True)
     args = parser.parse_args(argv)
     if args.chunk_size < 1:
         parser.error("--chunk-size must be at least 1")
@@ -332,6 +363,9 @@ def stream_main(argv: Sequence[str] | None = None) -> int:
             "encoding": args.encoding,
             "chunk_size": args.chunk_size,
             "verify": not args.no_verify,
+            "executor": args.executor,
+            "workers": args.workers,
+            "prefetch": args.prefetch,
         },
         "output": {
             "include_chunks": args.max_chunk_rows > 0,

@@ -157,6 +157,10 @@ class FilteringPipeline:
     error_threshold:
         Required when ``engine`` is a name string (instances and engines carry
         their own threshold).
+    executor:
+        Optional :class:`~repro.exec.Executor`; the filtration fans out
+        across its workers (results are byte-identical to serial execution
+        for every backend and worker count).
     """
 
     def __init__(
@@ -165,11 +169,13 @@ class FilteringPipeline:
         verifier: Verifier | None = None,
         verification_cost_per_pair_s: float = _VERIFICATION_COST_PER_PAIR_S,
         error_threshold: int | None = None,
+        executor=None,
     ):
         self.engine = engine
         self.error_threshold = resolve_error_threshold(engine, error_threshold)
         self.verifier = verifier or Verifier(self.error_threshold)
         self.verification_cost_per_pair_s = verification_cost_per_pair_s
+        self.executor = executor
         self._lazy_spec = None
         if not hasattr(engine, "filter_dataset"):
             if not isinstance(engine, (str, PreAlignmentFilter, type)):
@@ -234,7 +240,14 @@ class FilteringPipeline:
                 reference=reference,
                 collect_decisions=collect_decisions,
             )
-        filter_result = self._engine_for(dataset).filter_dataset(dataset)
+        engine = self._engine_for(dataset)
+        filter_kwargs = {}
+        if self.executor is not None:
+            from ..exec.executor import accepts_executor
+
+            if accepts_executor(engine.filter_dataset):
+                filter_kwargs["executor"] = self.executor
+        filter_result = engine.filter_dataset(dataset, **filter_kwargs)
         surviving = filter_result.accepted_indices()
 
         verified_accepts = 0
@@ -299,6 +312,7 @@ class FilteringPipeline:
             error_threshold=self.error_threshold,
             verification_cost_per_pair_s=self.verification_cost_per_pair_s,
             collect_decisions=collect_decisions,
+            executor=self.executor,
         )
         if isinstance(source, (str, Path)):
             return streaming.run_file(source, reference=reference, verify=verify, name=name)

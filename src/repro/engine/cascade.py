@@ -134,7 +134,9 @@ class FilterCascade:
     # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
-    def filter_encoded(self, pairs: EncodedPairBatch) -> CascadeRunResult:
+    def filter_encoded(
+        self, pairs: EncodedPairBatch, executor=None
+    ) -> CascadeRunResult:
         """Filter an already-encoded pair batch through every stage.
 
         Each stage only sees the survivors of every earlier stage, selected by
@@ -142,10 +144,19 @@ class FilterCascade:
         :class:`~repro.genomics.encoding.EncodedPairBatch` — survivor string
         lists are never rebuilt and nothing is ever re-encoded, no matter how
         many stages the cascade has.
+
+        With an :class:`~repro.exec.Executor` every worker carries its share
+        of the batch through all stages locally (survivor selection stays
+        inside the worker, so no intermediate state crosses the transport) and
+        the per-stage accounting is reduced from the share totals; decisions,
+        stage accounts, modelled times and ``n_batches`` are byte-identical to
+        the serial sweep for every backend and worker count.
         """
         n = pairs.n_pairs
         if n == 0:
             raise ValueError("cannot filter an empty work list")
+        if executor is not None:
+            return self._filter_encoded_parallel(pairs, executor)
 
         accepted = np.zeros(n, dtype=bool)
         estimates = np.zeros(n, dtype=np.int32)
@@ -213,8 +224,79 @@ class FilterCascade:
             stage_accounts=accounts,
         )
 
+    def _filter_encoded_parallel(self, pairs: EncodedPairBatch, executor) -> CascadeRunResult:
+        """Executor-backed :meth:`filter_encoded`: shares run all stages locally.
+
+        The partition-dependent quantities are never taken from the shares:
+        per-stage modelled times are the timing model evaluated once on each
+        stage's total input (exactly the call the serial sweep makes) and
+        ``n_batches`` is the serial device-split count recomputed from those
+        totals — so the result is byte-identical to ``executor=None``.
+        """
+        from ..exec.fanout import expected_n_batches, fan_out_cascade
+
+        wall_start = time.perf_counter()
+        estimates, accepted, undefined, stage_totals = fan_out_cascade(
+            self, pairs, executor
+        )
+        wall_clock = time.perf_counter() - wall_start
+
+        accounts: list[CascadeStageAccount] = []
+        encode = prep = transfer = kernel = 0.0
+        n_batches = 0
+        for stage_index, stage in enumerate(self.stages):
+            n_input, n_accepted = stage_totals.get(stage_index, (0, 0))
+            if n_input == 0:
+                break  # every share went extinct before this stage (serial: break)
+            timing = stage.timing_model.filter_timing(
+                n_input,
+                stage.config.read_length,
+                stage.config.error_threshold,
+                encode_on_device=stage.config.encoding is EncodingActor.DEVICE,
+                n_devices=stage.config.n_devices,
+                host_encode_threads=1,
+            )
+            accounts.append(
+                CascadeStageAccount(
+                    stage=stage_index,
+                    filter_name=stage.name,
+                    n_input=n_input,
+                    n_accepted=n_accepted,
+                    n_rejected=n_input - n_accepted,
+                    kernel_time_s=timing.kernel_s,
+                    filter_time_s=timing.filter_s,
+                    wall_clock_s=0.0,
+                )
+            )
+            encode += timing.encode_s
+            prep += timing.host_prep_s
+            transfer += timing.transfer_s
+            kernel += timing.kernel_s
+            n_batches += expected_n_batches(stage.config, n_input)
+
+        timing = FilterTiming(
+            encode_s=encode, host_prep_s=prep, transfer_s=transfer, kernel_s=kernel
+        )
+        return CascadeRunResult(
+            accepted=accepted,
+            estimated_edits=estimates,
+            undefined=undefined,
+            kernel_time_s=timing.kernel_s,
+            filter_time_s=timing.filter_s,
+            wall_clock_s=wall_clock,
+            timing=timing,
+            n_batches=n_batches,
+            metadata={
+                "filter": self.name,
+                "stages": [stage.name for stage in self.stages],
+                "n_devices": self.n_devices,
+                "encoding": self.encoding.value,
+            },
+            stage_accounts=accounts,
+        )
+
     def filter_lists(
-        self, reads: Sequence[str], segments: Sequence[str]
+        self, reads: Sequence[str], segments: Sequence[str], executor=None
     ) -> CascadeRunResult:
         """Filter parallel lists through every stage, survivors only.
 
@@ -225,22 +307,24 @@ class FilterCascade:
             raise ValueError("reads and segments must have the same length")
         if len(reads) == 0:
             raise ValueError("cannot filter an empty work list")
-        return self.filter_encoded(EncodedPairBatch.from_lists(reads, segments))
+        return self.filter_encoded(
+            EncodedPairBatch.from_lists(reads, segments), executor=executor
+        )
 
-    def filter_pairs(self, pairs: Sequence) -> CascadeRunResult:
+    def filter_pairs(self, pairs: Sequence, executor=None) -> CascadeRunResult:
         """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
         reads = [p.read for p in pairs]
         segments = [p.reference_segment for p in pairs]
-        return self.filter_lists(reads, segments)
+        return self.filter_lists(reads, segments, executor=executor)
 
-    def filter_dataset(self, dataset) -> CascadeRunResult:
+    def filter_dataset(self, dataset, executor=None) -> CascadeRunResult:
         """Filter a :class:`repro.simulate.PairDataset` (cached encode-once batch)."""
         encoded = getattr(dataset, "encoded", None)
         if callable(encoded):
             batch = encoded()
             if batch.n_pairs:
-                return self.filter_encoded(batch)
-        return self.filter_lists(dataset.reads, dataset.segments)
+                return self.filter_encoded(batch, executor=executor)
+        return self.filter_lists(dataset.reads, dataset.segments, executor=executor)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FilterCascade({self.name!r}, error_threshold={self.error_threshold})"

@@ -228,11 +228,17 @@ class FilterEngine:
             raise ValueError("reads and segments must have the same length")
         return self.filter_encoded_share(EncodedPairBatch.from_lists(reads, segments))
 
-    def filter_encoded(self, pairs: EncodedPairBatch) -> FilterRunResult:
+    def filter_encoded(
+        self, pairs: EncodedPairBatch, executor=None
+    ) -> FilterRunResult:
         """Filter an already-encoded pair batch (the encode-once hot path).
 
         Device shares are zero-copy row-slice views of ``pairs`` — nothing is
         re-encoded, re-packed or rebuilt as strings anywhere below this call.
+        With an :class:`~repro.exec.Executor` the shares fan out across its
+        workers (threads or processes, shared-memory transport); decisions,
+        modelled times and ``n_batches`` are byte-identical to the serial
+        sweep for every backend and worker count.
         """
         n = pairs.n_pairs
         if n == 0:
@@ -246,22 +252,30 @@ class FilterEngine:
             pairs.read_words
             pairs.ref_words
 
-        accepted = np.zeros(n, dtype=bool)
-        estimates = np.zeros(n, dtype=np.int32)
-        undefined = np.zeros(n, dtype=bool)
-
         wall_start = time.perf_counter()
-        n_batches = 0
-        # Device shares: pairs are split evenly across devices; within each
-        # share the pipeline batches by the configured batch size.
-        for share in split_evenly(n, self.config.n_devices):
-            share_estimates, share_accepted, share_undefined, share_batches = (
-                self.filter_encoded_share(pairs[share])
-            )
-            accepted[share] = share_accepted
-            estimates[share] = share_estimates
-            undefined[share] = share_undefined
-            n_batches += share_batches
+        if executor is not None:
+            from ..exec.fanout import expected_n_batches, fan_out_engine
+
+            estimates, accepted, undefined = fan_out_engine(self, pairs, executor)
+            # The kernel-call count is partition-dependent; report the count
+            # the serial device-split execution performs (a pure function of
+            # the totals), keeping results identical across worker counts.
+            n_batches = expected_n_batches(self.config, n)
+        else:
+            accepted = np.zeros(n, dtype=bool)
+            estimates = np.zeros(n, dtype=np.int32)
+            undefined = np.zeros(n, dtype=bool)
+            n_batches = 0
+            # Device shares: pairs are split evenly across devices; within
+            # each share the pipeline batches by the configured batch size.
+            for share in split_evenly(n, self.config.n_devices):
+                share_estimates, share_accepted, share_undefined, share_batches = (
+                    self.filter_encoded_share(pairs[share])
+                )
+                accepted[share] = share_accepted
+                estimates[share] = share_estimates
+                undefined[share] = share_undefined
+                n_batches += share_batches
         wall_clock = time.perf_counter() - wall_start
 
         timing = self.timing_model.filter_timing(
@@ -291,7 +305,7 @@ class FilterEngine:
         )
 
     def filter_lists(
-        self, reads: Sequence[str], segments: Sequence[str]
+        self, reads: Sequence[str], segments: Sequence[str], executor=None
     ) -> FilterRunResult:
         """Filter parallel lists of reads and candidate reference segments.
 
@@ -303,22 +317,24 @@ class FilterEngine:
             raise ValueError("reads and segments must have the same length")
         if len(reads) == 0:
             raise ValueError("cannot filter an empty work list")
-        return self.filter_encoded(EncodedPairBatch.from_lists(reads, segments))
+        return self.filter_encoded(
+            EncodedPairBatch.from_lists(reads, segments), executor=executor
+        )
 
-    def filter_pairs(self, pairs: Sequence) -> FilterRunResult:
+    def filter_pairs(self, pairs: Sequence, executor=None) -> FilterRunResult:
         """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
         reads = [p.read for p in pairs]
         segments = [p.reference_segment for p in pairs]
-        return self.filter_lists(reads, segments)
+        return self.filter_lists(reads, segments, executor=executor)
 
-    def filter_dataset(self, dataset) -> FilterRunResult:
+    def filter_dataset(self, dataset, executor=None) -> FilterRunResult:
         """Filter a :class:`repro.simulate.PairDataset` (cached encode-once batch)."""
         encoded = getattr(dataset, "encoded", None)
         if callable(encoded):
             batch = encoded()
             if batch.n_pairs:
-                return self.filter_encoded(batch)
-        return self.filter_lists(dataset.reads, dataset.segments)
+                return self.filter_encoded(batch, executor=executor)
+        return self.filter_lists(dataset.reads, dataset.segments, executor=executor)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,149 @@
+"""Fan a batch across an executor and reduce the shares deterministically.
+
+These helpers are the bridge between the filtering layers and the execution
+backends: :func:`fan_out_engine` / :func:`fan_out_cascade` split an encoded
+batch into contiguous shares, run them on the executor, and write each
+share's outcome back into preallocated arrays by its absolute slice — a
+reduction whose result is independent of completion order, backend and
+worker count.
+
+What *is* partition-dependent — modelled times and kernel-call counts — is
+never summed from the shares.  :func:`expected_n_batches` recomputes the
+batch count the serial device-split execution performs from the totals alone
+(the same formula :func:`repro.core.preprocess.prepare_batches_encoded`
+applies per device share), and the callers evaluate the analytic timing model
+once on the totals, exactly as the serial path does.  Together these make
+results byte-identical across ``{serial, threads, processes}`` and any number
+of workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.multi_gpu import split_evenly
+from .executor import Executor
+from .tasks import ShareOutcome
+
+__all__ = [
+    "share_slices",
+    "expected_n_batches",
+    "fan_out_engine",
+    "fan_out_cascade",
+]
+
+
+def share_slices(n_items: int, n_shares: int) -> "list[slice]":
+    """Contiguous, nearly-equal shares with empty slices dropped.
+
+    ``split_evenly(n, k)`` yields empty slices whenever ``n < k``; those must
+    never become tasks (the kernels reject empty work lists), so they are
+    filtered here and the executors additionally skip any that slip through.
+    """
+    return [
+        s for s in split_evenly(n_items, max(1, n_shares)) if s.stop > s.start
+    ]
+
+
+def _share_batch_size(config, n_share: int) -> int:
+    """The batch size one device share of ``n_share`` pairs is split by.
+
+    Mirrors :func:`repro.core.preprocess.prepare_batches_encoded` exactly.
+    """
+    if n_share == 0:
+        return 1
+    return max(1, min(config.batch_size(n_share) or n_share, config.max_reads_per_batch))
+
+
+def expected_n_batches(config, n_pairs: int) -> int:
+    """Kernel calls the serial device-split execution performs on ``n_pairs``.
+
+    The serial path splits pairs evenly across the configured devices and
+    batches each share by the launch configuration; the count is therefore a
+    pure function of the totals, which is how parallel runs report the same
+    ``n_batches`` as serial ones no matter how the work was partitioned.
+    """
+    total = 0
+    for share in split_evenly(n_pairs, config.n_devices):
+        n_share = share.stop - share.start
+        if n_share:
+            total += -(-n_share // _share_batch_size(config, n_share))
+    return total
+
+
+def fan_out_engine(
+    engine, pairs, executor: Executor
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run one engine over ``pairs`` split across the executor's workers.
+
+    Returns ``(estimated_edits, accepted, undefined)`` — identical arrays to
+    a serial :meth:`FilterEngine.filter_encoded_share` sweep, because every
+    pair's decision depends only on that pair.
+    """
+    n = pairs.n_pairs
+    _materialise_words(engine, pairs)
+    estimates = np.zeros(n, dtype=np.int32)
+    accepted = np.zeros(n, dtype=bool)
+    undefined = np.zeros(n, dtype=bool)
+    shares = share_slices(n, executor.workers)
+    outcomes = executor.run_shares("engine", engine, pairs, shares)
+    _reduce_arrays(shares, outcomes, estimates, accepted, undefined)
+    return estimates, accepted, undefined
+
+
+def fan_out_cascade(
+    cascade, pairs, executor: Executor
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, "dict[int, tuple[int, int]]"]:
+    """Run every cascade stage over ``pairs``, split across the workers.
+
+    Each worker carries its share through all stages locally (survivors are
+    pure index selections on its share — nothing is re-encoded); the per-stage
+    ``(n_input, n_accepted)`` totals are summed across shares, with shares
+    that went locally extinct contributing zeros to the later stages.
+    Returns ``(estimates, accepted, undefined, stage_totals)``.
+    """
+    n = pairs.n_pairs
+    _materialise_words(cascade, pairs)
+    estimates = np.zeros(n, dtype=np.int32)
+    accepted = np.zeros(n, dtype=bool)
+    undefined = np.zeros(n, dtype=bool)
+    shares = share_slices(n, executor.workers)
+    outcomes = executor.run_shares("cascade", cascade, pairs, shares)
+    _reduce_arrays(shares, outcomes, estimates, accepted, undefined)
+    stage_totals: dict[int, tuple[int, int]] = {}
+    for outcome in outcomes:
+        if outcome is None or not outcome.stage_counts:
+            continue
+        for stage_index, (n_input, n_accepted) in enumerate(outcome.stage_counts):
+            total_in, total_acc = stage_totals.get(stage_index, (0, 0))
+            stage_totals[stage_index] = (total_in + n_input, total_acc + n_accepted)
+    return estimates, accepted, undefined, stage_totals
+
+
+def _materialise_words(engine, pairs) -> None:
+    """Pack the word arrays once on the parent batch before fanning out.
+
+    Share views inherit the cached rows, so neither thread workers (which
+    would otherwise each pack their own share) nor the shared-memory export
+    ever repack a pair.
+    """
+    from .executor import wants_word_arrays
+
+    if wants_word_arrays(engine):
+        pairs.read_words
+        pairs.ref_words
+
+
+def _reduce_arrays(
+    shares: "list[slice]",
+    outcomes: "list[ShareOutcome | None]",
+    estimates: np.ndarray,
+    accepted: np.ndarray,
+    undefined: np.ndarray,
+) -> None:
+    for share, outcome in zip(shares, outcomes):
+        if outcome is None:
+            continue  # empty share: zero contribution, nothing was submitted
+        estimates[share] = outcome.estimated_edits
+        accepted[share] = outcome.accepted
+        undefined[share] = outcome.undefined

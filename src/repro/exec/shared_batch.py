@@ -1,0 +1,156 @@
+"""Zero-copy transport of :class:`EncodedPairBatch` via POSIX shared memory.
+
+The process execution backend must hand each worker a view of the encoded
+pair batch without pickling the code/word matrices through the task pipe
+(for a 100 bp read that would be ~250 bytes per pair per task — the transport
+would dwarf the kernel).  Instead the parent *exports* the batch once into a
+single :class:`multiprocessing.shared_memory.SharedMemory` segment (one copy,
+performed at most once per batch per run) and sends workers only a tiny
+:class:`SharedBatchHandle` naming the segment plus the array shapes/offsets.
+Workers *attach* the segment and rebuild the batch as NumPy views over the
+shared buffer — no per-task copy, no per-task pickle of the matrices.
+
+The packed ``uint64`` word arrays are included in the export only when the
+filter actually consumes them, and they are materialised on the parent batch
+first — so each pair is packed exactly once in the parent (the encode-once
+contract) and every worker inherits the packed rows.
+
+Lifecycle: the parent owns the segment and unlinks it as soon as the fan-out
+completes; workers attach/close per task (an ``mmap``, not a copy).
+Attachments opt out of resource tracking where the interpreter supports it
+(Python >= 3.13, ``track=False``); under the fork start method used on Linux
+the tracker process is shared anyway, so a worker's attach-registration
+dedups against the parent's and ownership stays with the exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..genomics.encoding import EncodedBatch, EncodedPairBatch
+
+__all__ = ["SharedArraySpec", "SharedBatchHandle", "export_batch", "attach_batch"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Shape/dtype/offset of one array inside the shared segment."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SharedBatchHandle:
+    """Everything a worker needs to rebuild the batch: a name and a layout.
+
+    This is the only thing pickled per task (plus the row slice) — a few
+    hundred bytes regardless of the batch size.
+    """
+
+    name: str
+    length: int
+    word_bits: int
+    arrays: dict[str, SharedArraySpec] = field(default_factory=dict)
+
+    @property
+    def has_words(self) -> bool:
+        return "read_words" in self.arrays
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def export_batch(
+    pairs: EncodedPairBatch, include_words: bool = False
+) -> tuple[shared_memory.SharedMemory, SharedBatchHandle]:
+    """Copy ``pairs`` into one fresh shared-memory segment (pack once).
+
+    With ``include_words`` the packed word arrays are materialised on the
+    *parent* batch (cached there for any later use) and shipped alongside the
+    code arrays, so no worker ever re-packs a pair.  Returns the owned
+    segment — the caller must ``close()`` + ``unlink()`` it — and the handle
+    to send to workers.
+    """
+    sources: dict[str, np.ndarray] = {
+        "read_codes": np.ascontiguousarray(pairs.read_codes),
+        "ref_codes": np.ascontiguousarray(pairs.ref_codes),
+        "undefined": np.ascontiguousarray(pairs.undefined),
+    }
+    if include_words:
+        sources["read_words"] = np.ascontiguousarray(pairs.read_words)
+        sources["ref_words"] = np.ascontiguousarray(pairs.ref_words)
+
+    specs: dict[str, SharedArraySpec] = {}
+    offset = 0
+    for key, array in sources.items():
+        offset = _align(offset)
+        specs[key] = SharedArraySpec(offset, tuple(array.shape), array.dtype.str)
+        offset += array.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
+    for key, array in sources.items():
+        spec = specs[key]
+        view = np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
+        view[...] = array
+        del view
+    handle = SharedBatchHandle(
+        name=segment.name,
+        length=pairs.length,
+        word_bits=pairs.reads.word_bits,
+        arrays=specs,
+    )
+    return segment, handle
+
+
+def attach_batch(
+    handle: SharedBatchHandle,
+) -> tuple[EncodedPairBatch, shared_memory.SharedMemory]:
+    """Attach the segment and rebuild the pair batch as zero-copy views.
+
+    The caller must drop every array referencing the batch before closing the
+    returned segment (NumPy views pin the underlying buffer).
+    """
+    try:
+        # Python >= 3.13: attachments can opt out of resource tracking —
+        # ownership stays with the exporter.
+        segment = shared_memory.SharedMemory(name=handle.name, track=False)
+    except TypeError:
+        # Older Pythons register the attachment too.  Pool workers (forkserver
+        # or spawn, see repro.exec.executor) inherit the parent's resource
+        # tracker through the fd multiprocessing passes them, and the tracker
+        # cache is a set — the duplicate registration is a no-op and the
+        # parent's unlink() unregisters exactly once, so nothing must be done
+        # (an explicit unregister here would instead remove the *parent's*
+        # registration and make its unlink complain).
+        segment = shared_memory.SharedMemory(name=handle.name)
+
+    def _view(key: str) -> np.ndarray:
+        spec = handle.arrays[key]
+        return np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
+
+    undefined = _view("undefined")
+    n = undefined.shape[0]
+    no_undef = np.zeros(n, dtype=bool)
+    reads = EncodedBatch(
+        _view("read_codes"),
+        no_undef,
+        handle.length,
+        handle.word_bits,
+        _view("read_words") if handle.has_words else None,
+    )
+    refs = EncodedBatch(
+        _view("ref_codes"),
+        no_undef,
+        handle.length,
+        handle.word_bits,
+        _view("ref_words") if handle.has_words else None,
+    )
+    return EncodedPairBatch(reads, refs, undefined), segment

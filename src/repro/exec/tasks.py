@@ -1,0 +1,103 @@
+"""The unit of parallel work: one engine/cascade run over one batch share.
+
+Executors parallelise *shares*: contiguous row slices of an already-encoded
+:class:`~repro.genomics.encoding.EncodedPairBatch`.  Every pair's decision
+depends only on that pair, so any partition of the rows reproduces the serial
+decisions exactly; the modelled times and batch counts that *do* depend on
+how the work was partitioned are recomputed analytically from the totals by
+the caller (the same totals-based evaluation the streaming runtime already
+uses), which is what makes results byte-identical across backends and worker
+counts.
+
+Runners are module-level functions keyed by name so the process backend can
+ship ``(runner_name, engine, handle, slice)`` through the task pipe — no
+closures, and never the encoded matrices themselves (those travel through
+shared memory, see :mod:`repro.exec.shared_batch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..genomics.encoding import EncodedPairBatch
+from .shared_batch import SharedBatchHandle, attach_batch
+
+__all__ = ["ShareOutcome", "run_share", "RUNNERS"]
+
+
+@dataclass
+class ShareOutcome:
+    """What one share contributes back to the reduction.
+
+    ``stage_counts`` is ``None`` for plain engines; for cascades it holds one
+    ``(n_input, n_accepted)`` tuple per stage this share actually reached
+    (a share whose pairs all die at stage ``k`` reports ``k + 1`` tuples).
+    """
+
+    estimated_edits: np.ndarray
+    accepted: np.ndarray
+    undefined: np.ndarray
+    stage_counts: "list[tuple[int, int]] | None" = None
+
+
+def _run_engine_share(engine, share: EncodedPairBatch) -> ShareOutcome:
+    estimates, accepted, undefined, _ = engine.filter_encoded_share(share)
+    return ShareOutcome(estimates, accepted, undefined)
+
+
+def _run_cascade_share(cascade, share: EncodedPairBatch) -> ShareOutcome:
+    """All cascade stages over one share, survivors as local index selections."""
+    n = share.n_pairs
+    estimates = np.zeros(n, dtype=np.int32)
+    accepted = np.zeros(n, dtype=bool)
+    undefined = np.zeros(n, dtype=bool)
+    stage_counts: list[tuple[int, int]] = []
+    alive = np.arange(n)
+    survivors = share
+    for stage_index, stage in enumerate(cascade.stages):
+        if len(alive) == 0:
+            break
+        stage_estimates, stage_accepted, stage_undefined, _ = (
+            stage.filter_encoded_share(survivors)
+        )
+        estimates[alive] = stage_estimates
+        undefined[alive] |= stage_undefined
+        keep = np.flatnonzero(stage_accepted)
+        stage_counts.append((int(len(alive)), int(len(keep))))
+        alive = alive[keep]
+        if len(alive) and stage_index + 1 < len(cascade.stages):
+            survivors = survivors.select(keep)
+    accepted[alive] = True
+    return ShareOutcome(estimates, accepted, undefined, stage_counts)
+
+
+#: Runner registry: names cross the process boundary, functions do not.
+RUNNERS = {
+    "engine": _run_engine_share,
+    "cascade": _run_cascade_share,
+}
+
+
+def run_share(runner: str, engine, pairs: EncodedPairBatch, share: slice) -> ShareOutcome:
+    """Run one share in-process (serial and thread backends)."""
+    return RUNNERS[runner](engine, pairs[share])
+
+
+def run_shared_share(
+    runner: str, engine, handle: SharedBatchHandle, share: slice
+) -> ShareOutcome:
+    """Process-worker entry point: attach the shared segment, run one share.
+
+    The outcome arrays are freshly allocated by the kernels (never views of
+    the shared buffer), so the segment can be detached before returning.
+    """
+    pairs, segment = attach_batch(handle)
+    try:
+        return RUNNERS[runner](engine, pairs[share])
+    finally:
+        # Drop every view pinning the buffer before close() — NumPy arrays
+        # over shm.buf hold exported memoryviews.
+        del pairs
+        segment.close()

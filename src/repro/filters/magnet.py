@@ -12,9 +12,18 @@ of occasionally rejecting a valid pair (the greedy extraction is not optimal),
 which matches the false rejects the paper observes for MAGNET.
 
 The batch path builds all ``2e+1`` masks for the whole batch with vectorised
-array operations and runs the (inherently sequential) segment extraction per
-pair on run-length encoded masks, which keeps the scalar and batched
-estimates identical.  When the pairs arrive pre-encoded as packed words
+array operations and runs the segment extraction *for all pairs at once*: the
+zero runs of every mask are gathered into one padded ``(n_pairs, max_runs)``
+table, and the divide-and-conquer recursion becomes a round-synchronous state
+machine — each of the at most ``e + 1`` rounds selects every pair's globally
+longest remaining segment with two ``argmax`` reductions, pops the interval
+it lived in and appends the flanking sub-intervals, all as whole-batch NumPy
+operations (:meth:`MagnetFilter._extract_batch`).  The selection order
+reproduces the scalar reference's tie-breaking exactly (first mask, then
+leftmost run, then oldest interval), so batched and scalar estimates stay
+identical; only the per-pair Python loop is gone.
+
+When the pairs arrive pre-encoded as packed words
 (:meth:`MagnetFilter.estimate_edits_words`), the masks are built bit-parallel
 from the word arrays and the zero-run boundaries are detected with packed
 shift/AND marker operations (:func:`repro.filters.packed.zero_run_markers`)
@@ -30,7 +39,7 @@ from .batch import shifted_mismatch_batch
 from .packed import (
     lane_span_mask,
     shifted_mismatch_lanes,
-    unpack_lanes,
+    unpack_group_values,
     zero_run_markers,
 )
 
@@ -146,6 +155,150 @@ class MagnetFilter(PreAlignmentFilter):
                     intervals.append((new_lo, new_hi))
         return n - covered
 
+    # ------------------------------------------------------------------ #
+    # Batched extraction (whole-batch state machine)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _best_segment(
+        run_starts: np.ndarray,
+        run_ends: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vector form of :meth:`_longest_zero_segment` for one interval per row.
+
+        ``run_starts`` / ``run_ends`` are the padded per-row run tables;
+        padding entries are sentinels whose clipped length is below any real
+        run's, so the row-wise ``argmax`` reproduces the scalar tie-breaking
+        (first mask, then leftmost run — the table's order).
+        """
+        clipped_starts = np.maximum(run_starts, lo[:, np.newaxis])
+        clipped_lens = np.minimum(run_ends, hi[:, np.newaxis]) - clipped_starts
+        k = np.argmax(clipped_lens, axis=1)
+        picked = np.arange(len(k))
+        lengths = np.maximum(clipped_lens[picked, k], 0)
+        starts = np.where(lengths > 0, clipped_starts[picked, k], lo)
+        return lengths, starts
+
+    def _extract_batch(
+        self, run_starts: np.ndarray, run_ends: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Divide-and-conquer extraction of all rows of a padded run table.
+
+        Replays :meth:`_extract_from_runs` for every pair simultaneously.
+        Per-pair state is the live interval list (at most ``e + 2`` slots,
+        kept in the scalar code's list order: pop shifts left, appends go at
+        the end) plus each interval's cached best segment.  Every round
+        extracts one segment per still-active pair; pairs go inactive when no
+        positive segment remains or ``e + 1`` segments are out.
+        """
+        e = self.error_threshold
+        n_pairs, n_runs = run_starts.shape
+        if n == 0:
+            return np.zeros(n_pairs, dtype=np.int32)
+        if n_runs == 0:  # no zero run anywhere: nothing is ever covered
+            return np.full(n_pairs, n, dtype=np.int32)
+        max_slots = e + 2
+        slot_index = np.arange(max_slots)
+        # Interval state lives in the run table's (usually 16-bit) dtype —
+        # the clipping scans in _best_segment are memory-bound, so narrow
+        # lanes buy real throughput.
+        dtype = run_starts.dtype
+        interval_lo = np.zeros((n_pairs, max_slots), dtype=dtype)
+        interval_hi = np.zeros((n_pairs, max_slots), dtype=dtype)
+        best_len = np.zeros((n_pairs, max_slots), dtype=dtype)
+        best_start = np.zeros((n_pairs, max_slots), dtype=dtype)
+        slot_count = np.ones(n_pairs, dtype=np.int32)
+        covered = np.zeros(n_pairs, dtype=np.int32)
+
+        interval_hi[:, 0] = n
+        best_len[:, 0], best_start[:, 0] = self._best_segment(
+            run_starts,
+            run_ends,
+            interval_lo[:, 0],
+            interval_hi[:, 0],
+        )
+
+        def append(rows, new_lo, new_hi):
+            keep = (new_hi - new_lo) > 0
+            rows, new_lo, new_hi = rows[keep], new_lo[keep], new_hi[keep]
+            if rows.size == 0:
+                return
+            slot = slot_count[rows]
+            interval_lo[rows, slot] = new_lo
+            interval_hi[rows, slot] = new_hi
+            best_len[rows, slot], best_start[rows, slot] = self._best_segment(
+                run_starts[rows], run_ends[rows], new_lo, new_hi
+            )
+            slot_count[rows] += 1
+
+        active = np.ones(n_pairs, dtype=bool)
+        for _ in range(e + 1):
+            rows = np.flatnonzero(active)
+            if rows.size == 0:
+                break
+            # The globally longest cached segment; dead slots count as 0, and
+            # argmax's first-occurrence rule is the scalar code's strict-">"
+            # scan over the interval list.
+            lengths = np.where(
+                slot_index[np.newaxis, :] < slot_count[rows, np.newaxis],
+                best_len[rows],
+                0,
+            )
+            chosen = np.argmax(lengths, axis=1)
+            seg_len = lengths[np.arange(len(rows)), chosen]
+            alive = seg_len > 0
+            active[rows[~alive]] = False  # no positive segment left: stop
+            rows, chosen, seg_len = rows[alive], chosen[alive], seg_len[alive]
+            if rows.size == 0:
+                break
+            lo = interval_lo[rows, chosen]
+            hi = interval_hi[rows, chosen]
+            seg_start = best_start[rows, chosen]
+            covered[rows] += seg_len
+            # list.pop(chosen): shift the later slots left by one.
+            gather = np.minimum(
+                slot_index[np.newaxis, :] + (slot_index[np.newaxis, :] >= chosen[:, np.newaxis]),
+                max_slots - 1,
+            )
+            take = np.arange(len(rows))[:, np.newaxis]
+            for state in (interval_lo, interval_hi, best_len, best_start):
+                state[rows] = state[rows][take, gather]
+            slot_count[rows] -= 1
+            # Recurse left and right of the extracted segment, leaving a one
+            # base divider on each side (the edit that separates segments).
+            append(rows, lo, seg_start - 1)
+            append(rows, seg_start + seg_len + 1, hi)
+        return (n - covered).astype(np.int32)
+
+    @staticmethod
+    def _pad_runs(
+        rows: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        n_pairs: int,
+        n: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scatter (row-sorted) runs into padded ``(n_pairs, max_runs)`` tables.
+
+        ``rows`` must be non-decreasing with runs already in (mask, position)
+        order within each row — exactly what row-major ``nonzero`` produces.
+        Padding sentinels clip to lengths below any real run's.
+        """
+        counts = np.bincount(rows, minlength=n_pairs)
+        max_runs = int(counts.max()) if counts.size else 0
+        # Positions fit 16 bits for any realistic read; the sentinel values
+        # (+-(n + 2)) must fit too, with headroom for the clipping arithmetic.
+        dtype = np.int16 if n + 2 < 2**14 else np.int32
+        run_starts = np.full((n_pairs, max_runs), n + 2, dtype=dtype)
+        run_ends = np.full((n_pairs, max_runs), -(n + 2), dtype=dtype)
+        if rows.size:
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            flat_index = rows * max_runs + (np.arange(rows.size) - offsets[rows])
+            run_starts.ravel()[flat_index] = starts
+            run_ends.ravel()[flat_index] = ends
+        return run_starts, run_ends
+
     def estimate_edits_codes(self, read_codes: np.ndarray, ref_codes: np.ndarray) -> int:
         read_codes = np.asarray(read_codes, dtype=np.uint8)
         ref_codes = np.asarray(ref_codes, dtype=np.uint8)
@@ -159,11 +312,40 @@ class MagnetFilter(PreAlignmentFilter):
         ref_codes = np.asarray(ref_codes, dtype=np.uint8)
         if read_codes.shape != ref_codes.shape:
             raise ValueError("read and reference code arrays must have the same shape")
+        n_pairs = read_codes.shape[0]
+        estimates = np.empty(n_pairs, dtype=np.int32)
+        for start in range(0, n_pairs, self._EXTRACT_BLOCK):
+            block = slice(start, min(start + self._EXTRACT_BLOCK, n_pairs))
+            estimates[block] = self._estimate_codes_block(
+                read_codes[block], ref_codes[block]
+            )
+        return estimates
+
+    def _estimate_codes_block(
+        self, read_codes: np.ndarray, ref_codes: np.ndarray
+    ) -> np.ndarray:
+        n_pairs, n = read_codes.shape
         masks = self._build_masks_batch(read_codes, ref_codes)
-        return np.array(
-            [self._estimate_from_masks(masks[:, i, :]) for i in range(read_codes.shape[0])],
-            dtype=np.int32,
+        # Zero runs of every (pair, mask) row at once: the same bounded-diff
+        # trick as the scalar reference, with the pair axis leading so that
+        # row-major nonzero yields each pair's runs in (mask, position) order.
+        n_masks = masks.shape[0]
+        bounded = np.ones((n_pairs, n_masks, n + 2), dtype=np.int8)
+        bounded[:, :, 1:-1] = np.moveaxis(masks, 0, 1)
+        diff = np.diff(bounded, axis=2).reshape(n_pairs, -1)
+        span = n + 1  # positions per (mask) row of the flattened diff
+        start_rows, start_flat = np.nonzero(diff == -1)
+        end_rows, end_flat = np.nonzero(diff == 1)
+        run_starts, run_ends = self._pad_runs(
+            start_rows, start_flat % span, end_flat % span, n_pairs, n
         )
+        del end_rows  # same rows/ordering as start_rows: one end per start
+        return self._extract_batch(run_starts, run_ends, n)
+
+    #: Pairs per processing block of the batch paths: keeps every temporary
+    #: (mask stacks, marker bitmaps, padded run tables) cache-sized and the
+    #: run-table padding width local to the block.
+    _EXTRACT_BLOCK = 2048
 
     def estimate_edits_words(
         self, read_words: np.ndarray, ref_words: np.ndarray, length: int
@@ -171,31 +353,65 @@ class MagnetFilter(PreAlignmentFilter):
         """Packed-word MAGNET over pre-encoded word arrays.
 
         The ``2e+1`` masks are shifted-XOR lane masks of the 2-bit words
-        (vacant positions forced to 1, MAGNET's edge fix), and every maximal
-        zero run is located by the packed start/end marker kernel; only those
-        marker bitmaps are unpacked to feed the per-pair extraction.
+        (vacant positions forced to 1, MAGNET's edge fix), every maximal zero
+        run is located by the packed start/end marker kernel, and only those
+        marker bitmaps are unpacked — straight into the whole-batch
+        :meth:`_extract_batch` state machine (no per-pair Python loop).
         """
         read_words = np.asarray(read_words, dtype=np.uint64)
         ref_words = np.asarray(ref_words, dtype=np.uint64)
         n_pairs, n_words = read_words.shape
         if length == 0:
             return np.zeros(n_pairs, dtype=np.int32)
+        valid = lane_span_mask(0, length, n_words)
+        estimates = np.empty(n_pairs, dtype=np.int32)
+        for start in range(0, n_pairs, self._EXTRACT_BLOCK):
+            block = slice(start, min(start + self._EXTRACT_BLOCK, n_pairs))
+            estimates[block] = self._estimate_words_block(
+                read_words[block], ref_words[block], length, valid
+            )
+        return estimates
+
+    def _estimate_words_block(
+        self,
+        read_words: np.ndarray,
+        ref_words: np.ndarray,
+        length: int,
+        valid: np.ndarray,
+    ) -> np.ndarray:
+        n_pairs, n_words = read_words.shape
         e = self.error_threshold
         shifts = [0] + [s for k in range(1, e + 1) for s in (k, -k)]
-        valid = lane_span_mask(0, length, n_words)
-        masks = np.empty((len(shifts), n_pairs, n_words), dtype=np.uint64)
+        # Pair-major mask stack: the flattened (mask, position) axis below is
+        # then contiguous per pair, so no transpose copy is ever needed.
+        masks = np.empty((n_pairs, len(shifts), n_words), dtype=np.uint64)
         for row, shift in enumerate(shifts):
             # MAGNET treats vacant positions as mismatches (vacant_value=1) so
             # that edge errors are not hidden (one of its fixes over SHD).
-            masks[row], _ = shifted_mismatch_lanes(
+            masks[:, row, :], _ = shifted_mismatch_lanes(
                 read_words, ref_words, shift, length, vacant_value=1, valid=valid
             )
         start_marks, end_marks = zero_run_markers(masks, valid)
-        start_bits = unpack_lanes(start_marks, length)
-        end_bits = unpack_lanes(end_marks, length)
-        estimates = np.empty(n_pairs, dtype=np.int32)
-        for i in range(n_pairs):
-            run_starts = np.flatnonzero(start_bits[:, i, :]) % length
-            run_ends = np.flatnonzero(end_bits[:, i, :]) % length + 1
-            estimates[i] = self._extract_from_runs(run_starts, run_ends, length)
-        return estimates
+        # Start and end markers share one unpack + nonzero pass: the end
+        # marker rides in the unused high bit of each base's 2-bit group, so
+        # one unpacked value per position says start (1), end (2) or both (3
+        # — a single-base run).  Row-major flatnonzero yields each pair's
+        # runs in the (mask, position) order the tie-breaking relies on, and
+        # because the per-pair span is a multiple of ``length``, a single
+        # modulo recovers the in-mask position.
+        kinds = unpack_group_values(
+            start_marks | (end_marks << np.uint64(1)), length
+        ).reshape(-1)
+        flat = np.flatnonzero(kinds)
+        values = kinds[flat]
+        is_start = (values & 1).astype(bool)
+        is_end = values >= 2
+        span = kinds.shape[0] // n_pairs
+        run_starts, run_ends = self._pad_runs(
+            flat[is_start] // span,
+            flat[is_start] % length,
+            flat[is_end] % length + 1,
+            n_pairs,
+            length,
+        )
+        return self._extract_batch(run_starts, run_ends, length)

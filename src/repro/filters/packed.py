@@ -44,6 +44,7 @@ __all__ = [
     "count_lane_windows",
     "pack_lanes",
     "unpack_lanes",
+    "unpack_group_values",
     "neighborhood_lanes",
     "zero_run_markers",
 ]
@@ -296,11 +297,46 @@ def pack_lanes(mask: np.ndarray) -> np.ndarray:
     return (grouped << _LANE_BIT_POSITIONS).sum(axis=-1, dtype=_U64)
 
 
-def unpack_lanes(words: np.ndarray, length: int) -> np.ndarray:
-    """Unpack lane words ``(..., n_words)`` into a per-base uint8 mask ``(..., length)``."""
+def _unpack_word_bits(words: np.ndarray) -> np.ndarray:
+    """All 64 bits of each word as a uint8 array ``(..., n_words * 64)``.
+
+    Big-endian bit order (bit 0 of the output is the word's most significant
+    bit), matching the lane layout's "first base in the top bits" rule —
+    :func:`numpy.unpackbits` over the byte view is a byte-wide C loop, far
+    cheaper than a 64x-expanded ``uint64`` shift broadcast.
+    """
     words = np.asarray(words, dtype=_U64)
-    expanded = (words[..., np.newaxis] >> _LANE_BIT_POSITIONS) & _U64(1)
-    return expanded.reshape(words.shape[:-1] + (-1,))[..., :length].astype(np.uint8)
+    n_words = words.shape[-1]
+    as_bytes = words[..., np.newaxis].view(np.uint8)
+    if np.little_endian:
+        as_bytes = as_bytes[..., ::-1]
+    flat = np.ascontiguousarray(as_bytes).reshape(words.shape[:-1] + (n_words * 8,))
+    return np.unpackbits(flat, axis=-1)
+
+
+def unpack_group_values(words: np.ndarray, length: int) -> np.ndarray:
+    """Unpack each base's full 2-bit group into values 0-3 ``(..., length)``.
+
+    Where :func:`unpack_lanes` reads only the low (lane) bit of every group,
+    this reads both — callers can stash a second, independent bitplane in the
+    otherwise-unused high bit (e.g. MAGNET packs zero-run *end* markers above
+    the *start* markers and recovers both with this one pass).
+    """
+    bits = _unpack_word_bits(words)
+    groups = bits.reshape(bits.shape[:-1] + (-1, 2))
+    values = groups[..., 0] << 1
+    values |= groups[..., 1]
+    return values[..., :length]
+
+
+def unpack_lanes(words: np.ndarray, length: int) -> np.ndarray:
+    """Unpack lane words ``(..., n_words)`` into a per-base uint8 mask ``(..., length)``.
+
+    Each base's lane bit is the low bit of its 2-bit group, i.e. every odd
+    bit of the big-endian bit order produced by :func:`_unpack_word_bits`.
+    """
+    bits = _unpack_word_bits(words)
+    return np.ascontiguousarray(bits[..., 1::2][..., :length])
 
 
 # --------------------------------------------------------------------------- #

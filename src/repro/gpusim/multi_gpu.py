@@ -67,28 +67,57 @@ class MultiGpuDispatcher:
         ``run_chunk(item_slice, device_index)`` performs the functional work
         for that share and returns its result object.  The per-device analytic
         timing assumes the equal split the paper uses.
+
+        The calls run serially in the caller: this is the compatibility path
+        for engines outside the encoded protocol, whose share methods carry
+        no thread-safety guarantee.  Multi-core execution of the built-in
+        engines goes through :mod:`repro.exec.fanout` instead, which shares
+        this class's :meth:`share_timings` so every execution strategy
+        reports identical per-device timings.
         """
-        shares: list[DeviceShare] = []
-        for index, item_slice in enumerate(split_evenly(n_items, self.n_devices)):
-            chunk_items = item_slice.stop - item_slice.start
-            result = run_chunk(item_slice, index)
-            timing = self.timing_model.filter_timing(
-                chunk_items,
+        slices = split_evenly(n_items, self.n_devices)
+        results = [
+            run_chunk(item_slice, index) for index, item_slice in enumerate(slices)
+        ]
+        timings = self.share_timings(
+            n_items, read_length, error_threshold, encode_on_device=encode_on_device
+        )
+        return [
+            DeviceShare(
+                device_index=index,
+                item_slice=item_slice,
+                n_items=item_slice.stop - item_slice.start,
+                result=result,
+                timing=timing,
+            )
+            for index, (item_slice, result, timing) in enumerate(
+                zip(slices, results, timings)
+            )
+        ]
+
+    def share_timings(
+        self,
+        n_items: int,
+        read_length: int,
+        error_threshold: int,
+        encode_on_device: bool = True,
+    ) -> list[FilterTiming]:
+        """Per-device analytic timings for an equal split of ``n_items``.
+
+        A pure function of the totals — the single source for both
+        :meth:`dispatch` and the executor fan-out path of the streaming
+        runtime, so every execution strategy reports identical device timings.
+        """
+        return [
+            self.timing_model.filter_timing(
+                item_slice.stop - item_slice.start,
                 read_length,
                 error_threshold,
                 encode_on_device=encode_on_device,
                 n_devices=1,
             )
-            shares.append(
-                DeviceShare(
-                    device_index=index,
-                    item_slice=item_slice,
-                    n_items=chunk_items,
-                    result=result,
-                    timing=timing,
-                )
-            )
-        return shares
+            for item_slice in split_evenly(n_items, self.n_devices)
+        ]
 
     @staticmethod
     def combined_kernel_time(shares: Sequence[DeviceShare]) -> float:

@@ -262,6 +262,19 @@ class StreamingPipeline:
         Extra :class:`~repro.engine.FilterEngine` constructor arguments used
         when the engine is built lazily from a name/class/list spec (e.g.
         ``n_devices=4`` or ``setup=SETUP_1``).
+    executor:
+        Optional :class:`~repro.exec.Executor` — every chunk's filtration
+        fans out across its workers (threads or processes with shared-memory
+        transport).  Decisions, modelled times and batch counts are
+        byte-identical to serial execution for every backend/worker count.
+    prefetch:
+        Overlap input and compute: a producer thread parses and encodes chunk
+        ``N + 1`` while chunk ``N`` filters (the host-side analogue of the
+        modelled H2D/kernel ``CudaStream`` overlap — but measured).  Results
+        are unaffected; only wall-clock changes.
+    prefetch_chunks:
+        Bound on encoded chunks queued ahead of the consumer (peak memory is
+        proportional to ``prefetch_chunks * chunk_size``).
     """
 
     def __init__(
@@ -275,11 +288,16 @@ class StreamingPipeline:
         collect_chunk_reports: bool = True,
         max_chunk_reports: int | None = None,
         engine_kwargs: dict | None = None,
+        executor=None,
+        prefetch: bool = False,
+        prefetch_chunks: int = 2,
     ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
         if max_chunk_reports is not None and max_chunk_reports < 0:
             raise ValueError("max_chunk_reports must be non-negative or None")
+        if prefetch_chunks < 1:
+            raise ValueError("prefetch_chunks must be at least 1")
         self.chunk_size = int(chunk_size)
         self.engine = engine
         self.verification_cost_per_pair_s = verification_cost_per_pair_s
@@ -287,6 +305,10 @@ class StreamingPipeline:
         self.collect_chunk_reports = bool(collect_chunk_reports)
         self.max_chunk_reports = max_chunk_reports
         self.engine_kwargs = dict(engine_kwargs or {})
+        self.executor = executor
+        self.prefetch = bool(prefetch)
+        self.prefetch_chunks = int(prefetch_chunks)
+        self._executor_support: "tuple[object, bool] | None" = None
 
         self.error_threshold = resolve_error_threshold(engine, error_threshold)
         self.verifier = verifier or Verifier(self.error_threshold)
@@ -364,23 +386,128 @@ class StreamingPipeline:
         if reads:
             yield reads, segments
 
-    def _filter_chunk(self, engine, reads, segments, stage_inputs):
+    def _encode_chunk(self, reads, segments) -> "EncodedPairBatch | None":
+        """Encode one chunk ahead of filtration (the producer-side work).
+
+        Returns ``None`` for custom string-only engines, which keep their own
+        single encode inside :meth:`_filter_chunk`.  When the engine is
+        already known to consume the packed word form, the words are packed
+        here too, so the *whole* input-side cost sits in the producer thread
+        under ``prefetch=True``.
+        """
+        engine = self.engine
+        if engine is not None and not (
+            hasattr(engine, "filter_encoded") or hasattr(engine, "filter_encoded_share")
+        ):
+            return None
+        batch = EncodedPairBatch.from_lists(reads, segments)
+        if engine is not None:
+            from ..exec.executor import wants_word_arrays
+
+            if wants_word_arrays(engine):
+                batch.read_words
+                batch.ref_words
+        return batch
+
+    def _iter_prepared(
+        self, pairs: Iterable[tuple[str, str]]
+    ) -> Iterator[tuple[list[str], list[str], "EncodedPairBatch | None"]]:
+        """Yield ``(reads, segments, encoded)`` chunks, prefetching if enabled.
+
+        Without prefetch, chunks are encoded inline (same thread, same order
+        as before).  With prefetch, a producer thread reads the pair iterator
+        and encodes chunk ``N + 1`` while the caller filters chunk ``N``; the
+        queue is bounded by ``prefetch_chunks`` so memory stays O(chunk).
+        """
+        if not self.prefetch:
+            for reads, segments in self._iter_chunks(pairs, self.chunk_size):
+                yield reads, segments, self._encode_chunk(reads, segments)
+            return
+
+        import queue as queue_module
+        import threading
+
+        work: "queue_module.Queue" = queue_module.Queue(maxsize=self.prefetch_chunks)
+        stop = threading.Event()
+        done = object()
+
+        def _put(item) -> bool:
+            while not stop.is_set():
+                try:
+                    work.put(item, timeout=0.05)
+                    return True
+                except queue_module.Full:
+                    continue
+            return False
+
+        def _produce() -> None:
+            try:
+                for reads, segments in self._iter_chunks(pairs, self.chunk_size):
+                    if not _put((reads, segments, self._encode_chunk(reads, segments))):
+                        return
+                _put(done)
+            except BaseException as exc:  # propagate parse errors to the consumer
+                _put(exc)
+
+        producer = threading.Thread(
+            target=_produce, name="repro-prefetch", daemon=True
+        )
+        producer.start()
+        try:
+            while True:
+                item = work.get()
+                if item is done:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            stop.set()
+            while not work.empty():  # unblock a producer stuck on a full queue
+                try:
+                    work.get_nowait()
+                except queue_module.Empty:  # pragma: no cover - race window
+                    break
+            producer.join(timeout=5.0)
+
+    def _engine_takes_executor(self, engine) -> bool:
+        """Whether ``engine.filter_encoded`` accepts ``executor=`` (cached —
+        the signature reflection must not run once per chunk)."""
+        if self.executor is None:
+            return False
+        cached = self._executor_support
+        if cached is None or cached[0] is not engine:
+            from ..exec.executor import accepts_executor
+
+            cached = (engine, accepts_executor(engine.filter_encoded))
+            self._executor_support = cached
+        return cached[1]
+
+    def _filter_chunk(self, engine, reads, segments, stage_inputs, encoded=None):
         """Filter one chunk; returns (estimates, accepted, undefined, n_batches,
         per-device share timings).
 
         The chunk is encoded into an
-        :class:`~repro.genomics.encoding.EncodedPairBatch` exactly once here;
-        device shares and cascade stages below only ever see index/slice
-        views of it.
+        :class:`~repro.genomics.encoding.EncodedPairBatch` exactly once —
+        either by the (possibly prefetching) chunk preparation, arriving here
+        as ``encoded``, or inline; device shares and cascade stages below only
+        ever see index/slice views of it.  A configured executor fans the
+        chunk across its workers without changing any reported quantity.
         """
         n = len(reads)
         if hasattr(engine, "stages"):
             # Cascade: the cascade handles the stage survivor logic itself
             # (each stage's engine splits across its devices internally).
             if hasattr(engine, "filter_encoded"):
-                result = engine.filter_encoded(
-                    EncodedPairBatch.from_lists(reads, segments)
+                batch = (
+                    encoded
+                    if encoded is not None
+                    else EncodedPairBatch.from_lists(reads, segments)
                 )
+                if self._engine_takes_executor(engine):
+                    result = engine.filter_encoded(batch, executor=self.executor)
+                else:
+                    result = engine.filter_encoded(batch)
             else:  # custom cascade-like engine without the encoded protocol
                 result = engine.filter_lists(reads, segments)
             for account in result.stage_accounts:
@@ -411,15 +538,45 @@ class StreamingPipeline:
         # Single engine: shard the chunk across devices explicitly.  The chunk
         # is encoded once, up front, only when the engine speaks the encoded
         # protocol — a custom string-only engine keeps its single encode.
-        pairs = (
-            EncodedPairBatch.from_lists(reads, segments)
-            if hasattr(engine, "filter_encoded_share")
-            else None
-        )
+        pairs = None
+        if hasattr(engine, "filter_encoded_share"):
+            pairs = (
+                encoded
+                if encoded is not None
+                else EncodedPairBatch.from_lists(reads, segments)
+            )
+
+        if self.executor is not None and pairs is not None and hasattr(engine, "config"):
+            # Executor fan-out: decisions are reduced from worker shares; the
+            # per-device stream-model timings and the batch count are the
+            # analytic quantities the dispatcher would have produced (pure
+            # functions of the chunk size), so every reported number matches
+            # the serial dispatch exactly.
+            from ..exec.fanout import expected_n_batches, fan_out_engine
+
+            estimates, accepted, undefined = fan_out_engine(
+                engine, pairs, self.executor
+            )
+            share_timings = MultiGpuDispatcher(
+                engine.config.devices, engine.timing_model
+            ).share_timings(
+                n,
+                engine.read_length,
+                engine.error_threshold,
+                encode_on_device=engine.encoding is EncodingActor.DEVICE,
+            )
+            stage_inputs[0] = stage_inputs.get(0, 0) + n
+            return (
+                estimates,
+                accepted,
+                undefined,
+                expected_n_batches(engine.config, n),
+                share_timings,
+            )
+
         estimates = np.zeros(n, dtype=np.int32)
         accepted = np.zeros(n, dtype=bool)
         undefined = np.zeros(n, dtype=bool)
-        batches = [0]
 
         def run_share(item_slice: slice, device_index: int):
             if pairs is not None:
@@ -433,9 +590,12 @@ class StreamingPipeline:
             estimates[item_slice] = share_est
             accepted[item_slice] = share_acc
             undefined[item_slice] = share_undef
-            batches[0] += share_batches
             return share_batches
 
+        # No executor here: this branch only runs custom engines (built-in
+        # ones took the encoded fan-out above), and a custom engine's share
+        # methods carry no thread-safety guarantee — racing them could
+        # silently break the byte-identity contract.
         dispatcher = MultiGpuDispatcher(engine.config.devices, engine.timing_model)
         shares = dispatcher.dispatch(
             n,
@@ -445,7 +605,8 @@ class StreamingPipeline:
             encode_on_device=engine.encoding is EncodingActor.DEVICE,
         )
         stage_inputs[0] = stage_inputs.get(0, 0) + n
-        return estimates, accepted, undefined, batches[0], [s.timing for s in shares]
+        n_batches = sum(int(s.result) for s in shares)
+        return estimates, accepted, undefined, n_batches, [s.timing for s in shares]
 
     def _total_timing(self, engine, n_pairs: int, stage_inputs: dict) -> FilterTiming:
         """Evaluate the analytic model on the final totals.
@@ -513,8 +674,8 @@ class StreamingPipeline:
         device_kernel: list[float] = []
         host_time = 0.0
 
-        for chunk_index, (reads, segments) in enumerate(
-            self._iter_chunks(pairs, self.chunk_size)
+        for chunk_index, (reads, segments, encoded) in enumerate(
+            self._iter_prepared(pairs)
         ):
             chunk_start = time.perf_counter()
             if engine is None:
@@ -523,7 +684,7 @@ class StreamingPipeline:
                 device_transfer = [0.0] * engine.n_devices
                 device_kernel = [0.0] * engine.n_devices
             estimates, accepted, undefined, chunk_batches, share_timings = (
-                self._filter_chunk(engine, reads, segments, stage_inputs)
+                self._filter_chunk(engine, reads, segments, stage_inputs, encoded)
             )
 
             if verify:
@@ -645,6 +806,9 @@ class StreamingPipeline:
             metadata={
                 "chunk_size": self.chunk_size,
                 "stage_inputs": dict(stage_inputs),
+                "executor": getattr(self.executor, "kind", "serial"),
+                "workers": getattr(self.executor, "workers", 1),
+                "prefetch": self.prefetch,
             },
         )
 

@@ -78,7 +78,13 @@ class TestSessionReuse:
         session = Session()
         session.run(workload)
         info = session.cache_info
-        assert info == {"engines": 1, "datasets": 0, "references": 1, "indexes": 1}
+        assert info == {
+            "engines": 1,
+            "datasets": 0,
+            "references": 1,
+            "indexes": 1,
+            "executors": 0,
+        }
         engine = session.engine_for(
             workload, GOLDEN_FIXTURE["read_length"]
         )

@@ -1,0 +1,259 @@
+"""Executor invariance: every backend/worker count, byte-identical results.
+
+The contract of :mod:`repro.exec` is that execution backends change *how
+fast* a workload runs and never *what* it computes.  These tests pin that
+down at every layer: engine and cascade fan-out, the streaming runtime (with
+and without prefetch), and the Session front door (full canonical Result
+JSON), across ``{serial, threads, processes} x workers {1, 2, 4}`` — plus the
+empty-share regression (``n_items < workers``) and the pool/shared-memory
+lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Session, Workload
+from repro.engine import FilterCascade, FilterEngine
+from repro.exec import (
+    ProcessExecutor,
+    create_executor,
+    expected_n_batches,
+    share_slices,
+)
+from repro.simulate.datasets import build_dataset
+
+BACKENDS = ("serial", "threads", "processes")
+WORKER_COUNTS = (1, 2, 4)
+ERROR_THRESHOLD = 5
+N_PAIRS = 600
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset("Set 1", n_pairs=N_PAIRS, seed=11)
+
+
+@pytest.fixture(scope="module")
+def encoded(dataset):
+    return dataset.encoded()
+
+
+@pytest.fixture(scope="module")
+def executors():
+    """One pool per (backend, workers), shared across the module's tests."""
+    pool = {}
+    yield lambda kind, workers: pool.setdefault(
+        (kind, workers), create_executor(kind, workers)
+    )
+    for executor in pool.values():
+        executor.close()
+
+
+def _strip_wall(stage_rows):
+    return [
+        {key: value for key, value in row.items() if key != "wall_clock_s"}
+        for row in stage_rows
+    ]
+
+
+class TestEngineInvariance:
+    @pytest.mark.parametrize("kind", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_engine_matches_serial_sweep(self, encoded, dataset, executors, kind, workers):
+        engine = FilterEngine(
+            "gatekeeper-gpu",
+            read_length=dataset.read_length,
+            error_threshold=ERROR_THRESHOLD,
+        )
+        baseline = engine.filter_encoded(encoded)
+        result = engine.filter_encoded(encoded, executor=executors(kind, workers))
+        assert np.array_equal(result.accepted, baseline.accepted)
+        assert np.array_equal(result.estimated_edits, baseline.estimated_edits)
+        assert np.array_equal(result.undefined, baseline.undefined)
+        assert result.n_batches == baseline.n_batches
+        assert result.timing == baseline.timing
+        assert result.metadata == baseline.metadata
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_cascade_matches_serial_sweep(self, encoded, dataset, executors, kind, workers):
+        cascade = FilterCascade.from_names(
+            ["gatekeeper-gpu", "sneakysnake"],
+            read_length=dataset.read_length,
+            error_threshold=ERROR_THRESHOLD,
+        )
+        baseline = cascade.filter_encoded(encoded)
+        result = cascade.filter_encoded(encoded, executor=executors(kind, workers))
+        assert np.array_equal(result.accepted, baseline.accepted)
+        assert np.array_equal(result.estimated_edits, baseline.estimated_edits)
+        assert result.n_batches == baseline.n_batches
+        assert result.timing == baseline.timing
+        # Stage accounts match except the measured per-stage wall clock (which
+        # the canonical Result strips anyway).
+        assert _strip_wall(result.stage_summaries()) == _strip_wall(
+            baseline.stage_summaries()
+        )
+
+    @pytest.mark.parametrize("filter_name", ["magnet", "shouji", "sneakysnake", "shd"])
+    def test_every_filter_family_is_invariant(self, encoded, dataset, executors, filter_name):
+        engine = FilterEngine(
+            filter_name,
+            read_length=dataset.read_length,
+            error_threshold=ERROR_THRESHOLD,
+        )
+        baseline = engine.filter_encoded(encoded)
+        result = engine.filter_encoded(encoded, executor=executors("processes", 4))
+        assert np.array_equal(result.accepted, baseline.accepted)
+        assert np.array_equal(result.estimated_edits, baseline.estimated_edits)
+
+
+class TestEmptyShares:
+    """``split_evenly(n, workers)`` yields empty slices when n < workers."""
+
+    def test_share_slices_drops_empties(self):
+        assert share_slices(2, 4) == [slice(0, 1), slice(1, 2)]
+        assert share_slices(0, 4) == []
+        assert share_slices(4, 4) == [slice(i, i + 1) for i in range(4)]
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_executor_skips_empty_shares(self, encoded, dataset, executors, kind):
+        engine = FilterEngine(
+            "gatekeeper-gpu",
+            read_length=dataset.read_length,
+            error_threshold=ERROR_THRESHOLD,
+        )
+        executor = executors(kind, 4)
+        # Hand the executor explicit empty slices: they must be skipped (not
+        # submitted), reported as None, and contribute zeros downstream.
+        outcomes = executor.run_shares(
+            "engine", engine, encoded, [slice(0, 0), slice(0, 2), slice(2, 2)]
+        )
+        assert outcomes[0] is None
+        assert outcomes[2] is None
+        assert outcomes[1] is not None and outcomes[1].accepted.shape == (2,)
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_fewer_pairs_than_workers(self, encoded, dataset, executors, kind):
+        engine = FilterEngine(
+            "gatekeeper-gpu",
+            read_length=dataset.read_length,
+            error_threshold=ERROR_THRESHOLD,
+        )
+        small = encoded[np.arange(2)]
+        baseline = engine.filter_encoded(small)
+        result = engine.filter_encoded(small, executor=executors(kind, 4))
+        assert np.array_equal(result.accepted, baseline.accepted)
+        assert result.n_batches == baseline.n_batches
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_cascade_stage_extinction_reports_zeros(self, executors, kind):
+        """A stage that rejects everything: later stages report nothing, the
+        rejecting stage reports its zeros — same as the serial sweep."""
+        # Far pairs at threshold 0: gatekeeper-gpu rejects every pair in
+        # stage 0, so stage 1 sees 0 survivors in every worker share.
+        dataset = build_dataset("Set 3", n_pairs=40, seed=3)
+        cascade = FilterCascade.from_names(
+            ["gatekeeper-gpu", "sneakysnake"],
+            read_length=dataset.read_length,
+            error_threshold=0,
+        )
+        encoded = dataset.encoded()
+        baseline = cascade.filter_encoded(encoded)
+        result = cascade.filter_encoded(encoded, executor=executors(kind, 4))
+        assert _strip_wall(result.stage_summaries()) == _strip_wall(
+            baseline.stage_summaries()
+        )
+        accounts = result.stage_accounts
+        if baseline.n_accepted == 0 and len(accounts) == 1:
+            assert accounts[0].n_accepted == 0
+
+    def test_expected_n_batches_zero_items(self, dataset):
+        engine = FilterEngine(
+            "gatekeeper-gpu", read_length=dataset.read_length, error_threshold=5
+        )
+        assert expected_n_batches(engine.config, 0) == 0
+
+
+class TestSessionResultInvariance:
+    """The acceptance criterion: canonical Result JSON is byte-identical
+    across all executor backends and worker counts."""
+
+    @staticmethod
+    def _workload(kind, workers, **execution):
+        return Workload.from_dict(
+            {
+                "input": {"kind": "dataset", "dataset": "Set 1",
+                          "n_pairs": N_PAIRS, "seed": 11},
+                "filter": {"cascade": ["gatekeeper-gpu", "sneakysnake"],
+                           "error_threshold": ERROR_THRESHOLD},
+                "execution": {"executor": kind, "workers": workers, **execution},
+            }
+        )
+
+    @pytest.mark.parametrize("mode", ["memory", "streaming"])
+    def test_results_byte_identical_across_backends(self, mode):
+        execution = {"mode": mode}
+        if mode == "streaming":
+            execution["chunk_size"] = 128
+        with Session() as session:
+            baseline = session.run(self._workload("serial", 1, **execution)).to_json()
+            for kind in BACKENDS:
+                for workers in WORKER_COUNTS:
+                    run = dict(execution)
+                    if mode == "streaming" and kind != "serial":
+                        run["prefetch"] = True
+                    result = session.run(self._workload(kind, workers, **run))
+                    assert result.to_json() == baseline, (mode, kind, workers)
+
+    def test_backend_knobs_are_not_part_of_the_canonical_workload(self):
+        serial = self._workload("serial", 1)
+        parallel = self._workload("processes", 4, prefetch=True)
+        assert serial.to_dict() == parallel.to_dict()
+
+
+class TestPoolLifecycle:
+    def test_session_close_shuts_executors_down(self):
+        session = Session()
+        workload = TestSessionResultInvariance._workload("processes", 2)
+        session.run(workload)
+        assert session.cache_info["executors"] == 1
+        executor = session._executors[("processes", 2)]
+        assert executor.live_segments == 0  # released at fan-out end, not close
+        session.close()
+        assert session.cache_info["executors"] == 0
+        assert executor.closed
+        with pytest.raises(RuntimeError):
+            executor.run_shares("engine", None, None, [slice(0, 1)])
+        # The session stays usable: the next run builds a fresh pool.
+        session.run(workload)
+        session.close()
+
+    def test_no_leaked_shared_memory_segments(self, encoded, dataset):
+        engine = FilterEngine(
+            "gatekeeper-gpu",
+            read_length=dataset.read_length,
+            error_threshold=ERROR_THRESHOLD,
+        )
+        executor = ProcessExecutor(workers=2)
+        try:
+            for _ in range(3):
+                engine.filter_encoded(encoded, executor=executor)
+                assert executor.live_segments == 0
+        finally:
+            executor.close()
+        assert executor.live_segments == 0
+
+    def test_executor_context_manager(self):
+        with create_executor("threads", 2) as executor:
+            assert not executor.closed
+        assert executor.closed
+
+    def test_create_executor_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            create_executor("gpu", 2)
+        with pytest.raises(ValueError, match="workers"):
+            create_executor("threads", 0)

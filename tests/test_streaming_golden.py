@@ -149,6 +149,40 @@ class TestStreamingInMemoryByteIdentity:
         assert max(c.n_pairs for c in report.chunks) <= chunk
 
 
+class TestGoldenExecutorInvariance:
+    """The execution backend must never change a golden number: the exact
+    same streaming report (decisions, counts, modelled times) for
+    ``{serial, threads, processes} x workers {1, 2, 4}``, prefetch on."""
+
+    @pytest.fixture(scope="class")
+    def executor_pool(self):
+        from repro.exec import create_executor
+
+        pool = {}
+        yield lambda kind, workers: pool.setdefault(
+            (kind, workers), create_executor(kind, workers)
+        )
+        for executor in pool.values():
+            executor.close()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("kind", ["serial", "threads", "processes"])
+    @pytest.mark.parametrize("label", sorted(FILTER_SPECS))
+    def test_streaming_report_matches_golden_on_every_backend(
+        self, golden_dataset, executor_pool, label, kind, workers
+    ):
+        report = StreamingPipeline(
+            FILTER_SPECS[label],
+            chunk_size=FIXTURE["chunk_size"],
+            error_threshold=FIXTURE["error_threshold"],
+            executor=executor_pool(kind, workers),
+            prefetch=True,
+        ).run_dataset(golden_dataset)
+        assert _json_roundtrip(report.as_dict(include_chunks=False)) == (
+            GOLDEN["streaming"][label]
+        )
+
+
 class TestStreamCli:
     """``repro-stream`` end-to-end on the checked-in fixture."""
 
