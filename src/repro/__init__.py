@@ -66,7 +66,9 @@ from .filters import (
     ShoujiFilter,
     SneakySnakeFilter,
 )
-from .runtime import StreamingPipeline, StreamingReport
+# Public compatibility re-export, not an internal call site: external users
+# still spell `from repro import StreamingPipeline`.
+from .runtime import StreamingPipeline, StreamingReport  # reprolint: disable=deprecated-facade-imports
 
 __version__ = "1.2.0"
 

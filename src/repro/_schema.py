@@ -1,0 +1,171 @@
+"""Single source of truth for the canonical report-schema key spellings.
+
+Every key the versioned :class:`repro.api.Result` schema emits — summary
+totals, cascade stage rows, streaming extras — is spelled exactly once, here.
+The producers (:mod:`repro.api.result`, :meth:`repro.api.Session` stage rows,
+:class:`repro.engine.cascade.CascadeStageAccount`) build their dictionaries
+from these constants instead of string literals, so a typo'd or drifting key
+is an import error or a linter finding, never a silently-forked schema.
+
+The ``result-schema-keys`` rule of :mod:`repro.analysis.lint` machine-checks
+this: inside ``repro.api`` and ``repro.engine`` the keys listed in
+:data:`LINT_ENFORCED_KEYS` may not appear as string-literal dictionary keys.
+
+Like :mod:`repro._defaults`, this private module sits below every package in
+the layering (its public face is the :mod:`repro.api` schema) and must not
+import from ``repro``.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------- #
+# Summary section (canonical totals of a filtering / mapping run)
+# --------------------------------------------------------------------------- #
+ERROR_THRESHOLD = "error_threshold"
+READ_LENGTH = "read_length"
+N_PAIRS = "n_pairs"
+N_ACCEPTED = "n_accepted"
+N_REJECTED = "n_rejected"
+N_UNDEFINED = "n_undefined"
+REDUCTION_PCT = "reduction_pct"
+KERNEL_TIME_S = "kernel_time_s"
+FILTER_TIME_S = "filter_time_s"
+VERIFICATION_TIME_S = "verification_time_s"
+NO_FILTER_VERIFICATION_TIME_S = "no_filter_verification_time_s"
+VERIFICATION_SPEEDUP = "verification_speedup"
+THEORETICAL_SPEEDUP = "theoretical_speedup"
+VERIFIED_ACCEPTS = "verified_accepts"
+VERIFIED_REJECTS = "verified_rejects"
+# Mapping-run extras
+MAPPINGS = "mappings"
+MAPPED_READS = "mapped_reads"
+N_READS = "n_reads"
+
+#: Every key a canonical ``summary`` section may carry.
+SUMMARY_KEYS = frozenset({
+    ERROR_THRESHOLD,
+    READ_LENGTH,
+    N_PAIRS,
+    N_ACCEPTED,
+    N_REJECTED,
+    N_UNDEFINED,
+    REDUCTION_PCT,
+    KERNEL_TIME_S,
+    FILTER_TIME_S,
+    VERIFICATION_TIME_S,
+    NO_FILTER_VERIFICATION_TIME_S,
+    VERIFICATION_SPEEDUP,
+    THEORETICAL_SPEEDUP,
+    VERIFIED_ACCEPTS,
+    VERIFIED_REJECTS,
+    MAPPINGS,
+    MAPPED_READS,
+    N_READS,
+})
+
+# --------------------------------------------------------------------------- #
+# Cascade stage rows
+# --------------------------------------------------------------------------- #
+STAGE = "stage"
+FILTER = "filter"
+N_INPUT = "n_input"
+WALL_CLOCK_S = "wall_clock_s"
+
+#: Keys of one cascade stage accounting row.
+STAGE_KEYS = frozenset({
+    STAGE,
+    FILTER,
+    N_INPUT,
+    N_ACCEPTED,
+    N_REJECTED,
+    KERNEL_TIME_S,
+    FILTER_TIME_S,
+    WALL_CLOCK_S,
+})
+
+# --------------------------------------------------------------------------- #
+# Streaming extras
+# --------------------------------------------------------------------------- #
+CHUNK_SIZE = "chunk_size"
+N_CHUNKS = "n_chunks"
+N_BATCHES = "n_batches"
+N_DEVICES = "n_devices"
+SERIAL_TIME_S = "serial_time_s"
+OVERLAPPED_TIME_S = "overlapped_time_s"
+OVERLAP_SPEEDUP = "overlap_speedup"
+
+#: Keys of the ``streaming`` section of a streamed run's result.
+STREAMING_KEYS = frozenset({
+    CHUNK_SIZE,
+    N_CHUNKS,
+    N_BATCHES,
+    N_DEVICES,
+    SERIAL_TIME_S,
+    OVERLAPPED_TIME_S,
+    OVERLAP_SPEEDUP,
+})
+
+#: Spellings the ``result-schema-keys`` lint rule refuses as string-literal
+#: dictionary keys inside ``repro.api`` / ``repro.engine``.  Deliberately the
+#: *unambiguous* subset: keys that double as workload-spec field names
+#: (``n_pairs``, ``error_threshold``, ``read_length``, ``chunk_size``,
+#: ``n_devices``, ``seed``, ...) are excluded so declarative workload
+#: dictionaries stay writable as plain literals.
+LINT_ENFORCED_KEYS = frozenset({
+    N_ACCEPTED,
+    N_REJECTED,
+    N_UNDEFINED,
+    REDUCTION_PCT,
+    KERNEL_TIME_S,
+    FILTER_TIME_S,
+    VERIFICATION_TIME_S,
+    NO_FILTER_VERIFICATION_TIME_S,
+    VERIFICATION_SPEEDUP,
+    THEORETICAL_SPEEDUP,
+    VERIFIED_ACCEPTS,
+    VERIFIED_REJECTS,
+    MAPPINGS,
+    MAPPED_READS,
+    N_INPUT,
+    WALL_CLOCK_S,
+    SERIAL_TIME_S,
+    OVERLAPPED_TIME_S,
+    OVERLAP_SPEEDUP,
+    N_CHUNKS,
+})
+
+__all__ = [
+    "ERROR_THRESHOLD",
+    "READ_LENGTH",
+    "N_PAIRS",
+    "N_ACCEPTED",
+    "N_REJECTED",
+    "N_UNDEFINED",
+    "REDUCTION_PCT",
+    "KERNEL_TIME_S",
+    "FILTER_TIME_S",
+    "VERIFICATION_TIME_S",
+    "NO_FILTER_VERIFICATION_TIME_S",
+    "VERIFICATION_SPEEDUP",
+    "THEORETICAL_SPEEDUP",
+    "VERIFIED_ACCEPTS",
+    "VERIFIED_REJECTS",
+    "MAPPINGS",
+    "MAPPED_READS",
+    "N_READS",
+    "STAGE",
+    "FILTER",
+    "N_INPUT",
+    "WALL_CLOCK_S",
+    "CHUNK_SIZE",
+    "N_CHUNKS",
+    "N_BATCHES",
+    "N_DEVICES",
+    "SERIAL_TIME_S",
+    "OVERLAPPED_TIME_S",
+    "OVERLAP_SPEEDUP",
+    "SUMMARY_KEYS",
+    "STAGE_KEYS",
+    "STREAMING_KEYS",
+    "LINT_ENFORCED_KEYS",
+]

@@ -89,11 +89,10 @@ def false_accept_rows(
     undefined pairs are treated as accepted by both sides (so they do not
     count as false accepts).
     """
-    from ..genomics.encoding import encode_batch_codes
-
-    read_codes, read_undef = encode_batch_codes(dataset.reads)
-    ref_codes, ref_undef = encode_batch_codes(dataset.segments)
-    undefined = read_undef | ref_undef
+    encoded = dataset.encoded()  # the dataset's cached ingest-time encode
+    read_codes = encoded.read_codes
+    ref_codes = encoded.ref_codes
+    undefined = encoded.undefined
     distances, _ = ground_truth_for_dataset(dataset)
 
     rows = []

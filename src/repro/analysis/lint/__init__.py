@@ -1,0 +1,32 @@
+"""AST-based linter for the repo's engineered invariants (``repro lint``).
+
+See :mod:`repro.analysis.lint.engine` for the machinery and
+:mod:`repro.analysis.lint.rules` for the six repo-specific rules.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    LINT_SCHEMA_VERSION,
+    LintReport,
+    Rule,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_path,
+)
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_path",
+    "ALL_RULES",
+    "RULES_BY_ID",
+]

@@ -1,0 +1,159 @@
+"""``determinism-hazards``: results must not depend on clocks, seeds or hash order.
+
+Every :class:`repro.api.Result` is reproducible by contract — the timing
+numbers come from the *analytic* device model, datasets from seeded
+generators, and reductions are order-independent.  Three spellings quietly
+break that:
+
+* wall clocks (``time.time()``, ``datetime.now()``) leaking into modelled
+  quantities — the model owns all reported times;
+* unseeded randomness (bare ``random.*``, ``random.Random()`` with no seed,
+  the legacy ``np.random.*`` global-state API) — generators must be
+  constructed from an explicit seed (``random.Random(seed)``,
+  ``np.random.default_rng(seed)``);
+* iterating a ``set`` directly — set order varies across processes under
+  hash randomisation, so any reduction driven by it is run-to-run unstable
+  (iterate ``sorted(...)`` instead).
+
+``time.perf_counter`` is *allowed*: it is the blessed spelling for measured
+host-side wall-clock sections, which the schema reports separately from
+modelled times.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, Violation, dotted_name, terminal_name
+
+__all__ = ["DeterminismHazardsRule"]
+
+#: Wall-clock calls whose values would make results run-dependent.
+_CLOCK_CALLS = frozenset({"time.time", "time.time_ns"})
+
+#: ``datetime``-flavoured "now" constructors.
+_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Legacy numpy global-state RNG entry points (np.random.<fn>).
+_NUMPY_GLOBAL_RNG = frozenset({
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "bytes",
+})
+
+
+class DeterminismHazardsRule(Rule):
+    rule_id = "determinism-hazards"
+    contract = (
+        "no wall clocks, unseeded RNGs or set-order iteration in result-"
+        "producing code; times come from the model, RNGs from explicit seeds"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(node, path))
+            elif isinstance(node, ast.For):
+                findings.extend(self._check_iteration(node.iter, path))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    findings.extend(self._check_iteration(comp.iter, path))
+        return findings
+
+    def _check_call(self, node: ast.Call, path: str) -> "list[Violation]":
+        dotted = dotted_name(node.func)
+        if dotted in _CLOCK_CALLS:
+            return [
+                self.violation(
+                    node,
+                    path,
+                    f"{dotted}() is a wall clock; reported times come from "
+                    "the analytic model (time.perf_counter for measured "
+                    "host sections)",
+                )
+            ]
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _NOW_ATTRS
+            and dotted is not None
+            and ("datetime" in dotted or dotted.startswith("date."))
+        ):
+            return [
+                self.violation(
+                    node,
+                    path,
+                    f"{dotted}() stamps results with the wall clock, making "
+                    "them run-dependent",
+                )
+            ]
+        if dotted is not None and dotted.startswith("random."):
+            member = dotted.split(".", 1)[1]
+            if member == "Random":
+                if not node.args and not node.keywords:
+                    return [
+                        self.violation(
+                            node,
+                            path,
+                            "random.Random() without a seed; construct RNGs "
+                            "from an explicit seed",
+                        )
+                    ]
+                return []
+            if member == "SystemRandom":
+                return [
+                    self.violation(
+                        node,
+                        path,
+                        "random.SystemRandom() is inherently unseedable",
+                    )
+                ]
+            return [
+                self.violation(
+                    node,
+                    path,
+                    f"{dotted}() draws from the unseeded module-global RNG; "
+                    "use a random.Random(seed) instance",
+                )
+            ]
+        if dotted is not None and (
+            dotted.startswith("np.random.") or dotted.startswith("numpy.random.")
+        ):
+            member = dotted.rsplit(".", 1)[1]
+            if member in _NUMPY_GLOBAL_RNG:
+                return [
+                    self.violation(
+                        node,
+                        path,
+                        f"{dotted}() uses numpy's global RNG state; use "
+                        "np.random.default_rng(seed)",
+                    )
+                ]
+        return []
+
+    def _check_iteration(self, iterable: ast.expr, path: str) -> "list[Violation]":
+        if isinstance(iterable, ast.Set) or (
+            isinstance(iterable, ast.Call)
+            and terminal_name(iterable.func) == "set"
+        ):
+            return [
+                self.violation(
+                    iterable,
+                    path,
+                    "iterates a set directly; set order varies under hash "
+                    "randomisation — iterate sorted(...) for a stable order",
+                )
+            ]
+        return []

@@ -1,0 +1,83 @@
+"""``deprecated-facade-imports``: internal code goes through ``repro.api``.
+
+``FilteringPipeline`` and ``StreamingPipeline`` are the pre-``repro.api``
+façades, kept importable for external users but deprecated internally: the
+Workload/Session API (PR 4) is the single entry point, and new internal call
+sites on the old façades would re-entrench exactly the coupling that API
+removed.  This rule bans imports of the façades (by name, or of their home
+modules) everywhere inside ``repro`` except the compatibility surface:
+``repro.api`` itself (which wraps them), the modules that *define* them, and
+the package ``__init__`` re-exports that keep the public names alive.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, Violation
+
+__all__ = ["DeprecatedFacadeImportsRule"]
+
+_FACADE_NAMES = frozenset({"FilteringPipeline", "StreamingPipeline"})
+_FACADE_MODULES = (
+    "repro.core.pipeline",
+    "repro.runtime.streaming",
+)
+
+#: Where façade imports remain legitimate: the wrapping API layer, the
+#: defining modules' own packages, and the public re-export __init__s.
+_ALLOWED_PREFIXES = ("repro/api/", "repro/runtime/")
+_ALLOWED_FILES = ("repro/core/pipeline.py",)
+
+
+class DeprecatedFacadeImportsRule(Rule):
+    rule_id = "deprecated-facade-imports"
+    contract = (
+        "no new internal imports of FilteringPipeline/StreamingPipeline "
+        "outside repro.api; use Workload/Session"
+    )
+
+    def applies_to(self, mpath: str) -> bool:
+        if not mpath.startswith("repro/"):
+            return False
+        if mpath in _ALLOWED_FILES:
+            return False
+        return not any(mpath.startswith(prefix) for prefix in _ALLOWED_PREFIXES)
+
+    def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                names = {alias.name for alias in node.names}
+                facade = sorted(names & _FACADE_NAMES)
+                if facade:
+                    findings.append(
+                        self.violation(
+                            node,
+                            path,
+                            f"imports deprecated façade {', '.join(facade)}; "
+                            "internal code goes through repro.api "
+                            "(Workload/Session)",
+                        )
+                    )
+                elif node.level == 0 and node.module in _FACADE_MODULES:
+                    findings.append(
+                        self.violation(
+                            node,
+                            path,
+                            f"imports from façade module {node.module}; "
+                            "internal code goes through repro.api",
+                        )
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _FACADE_MODULES:
+                        findings.append(
+                            self.violation(
+                                node,
+                                path,
+                                f"imports façade module {alias.name}; "
+                                "internal code goes through repro.api",
+                            )
+                        )
+        return findings

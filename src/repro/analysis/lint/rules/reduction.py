@@ -1,0 +1,122 @@
+"""``partition-invariant-reduction``: never sum modelled costs from shares.
+
+Parallel fan-out (PR 5) must report byte-identical results to the serial
+path.  Counts of accepted/rejected pairs reduce trivially, but the modelled
+quantities — kernel-call counts (``n_batches``) and analytic times — are
+*partition-dependent*: their per-share values change with the worker count,
+so summing them bakes the partition into the result.  The engineered rule is
+to recompute them from the totals (``expected_n_batches`` + one evaluation of
+the timing model), and this lint rule flags the tempting wrong spelling: a
+loop or comprehension over per-share outcomes that reads a modelled-cost
+attribute off the loop variable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, Violation, terminal_name
+
+__all__ = ["PartitionInvariantReductionRule", "PARTITION_ATTRS"]
+
+#: Attributes whose per-share values are partition-dependent.
+PARTITION_ATTRS = frozenset({
+    "n_batches",
+    "kernel_time_s",
+    "filter_time_s",
+    "wall_clock_s",
+    "encode_s",
+    "host_prep_s",
+    "transfer_s",
+    "serial_time_s",
+    "overlapped_time_s",
+})
+
+#: Iterable names that look like collections of per-share results.
+_OUTCOME_HINTS = ("outcome", "share", "results", "futures")
+
+
+def _iter_terminal(node: ast.AST) -> "str | None":
+    """The terminal name of a loop iterable, unwrapping enumerate/zip/etc."""
+    if isinstance(node, ast.Call):
+        wrapper = terminal_name(node.func)
+        if wrapper in ("enumerate", "zip", "reversed", "sorted", "list", "tuple"):
+            for arg in node.args:
+                name = _iter_terminal(arg)
+                if name is not None:
+                    return name
+            return None
+        return wrapper
+    return terminal_name(node)
+
+
+def _looks_like_outcomes(name: "str | None") -> bool:
+    if not name:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in _OUTCOME_HINTS)
+
+
+def _loop_targets(target: ast.AST) -> "set[str]":
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+class PartitionInvariantReductionRule(Rule):
+    rule_id = "partition-invariant-reduction"
+    contract = (
+        "modelled times / n_batches are recomputed from totals "
+        "(expected_n_batches + timing model), never summed over per-share "
+        "outcomes"
+    )
+
+    def applies_to(self, mpath: str) -> bool:
+        return (
+            mpath.startswith("repro/exec/")
+            or mpath.startswith("repro/engine/")
+            or mpath.startswith("repro/runtime/")
+        )
+
+    def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                if not _looks_like_outcomes(_iter_terminal(node.iter)):
+                    continue
+                targets = _loop_targets(node.target)
+                body = node.body + node.orelse
+                findings.extend(self._scan(body, targets, path))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if not _looks_like_outcomes(_iter_terminal(comp.iter)):
+                        continue
+                    targets = _loop_targets(comp.target)
+                    findings.extend(self._scan([node.elt], targets, path))
+        return findings
+
+    def _scan(
+        self, body: "list[ast.AST]", targets: "set[str]", path: str
+    ) -> "list[Violation]":
+        findings: list[Violation] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in PARTITION_ATTRS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in targets
+                ):
+                    findings.append(
+                        self.violation(
+                            node,
+                            path,
+                            f"reads partition-dependent '.{node.attr}' off a "
+                            "per-share outcome; recompute from totals "
+                            "(expected_n_batches / the timing model) instead "
+                            "of reducing over shares",
+                        )
+                    )
+        return findings

@@ -1,0 +1,74 @@
+"""``result-schema-keys``: report keys come from ``repro._schema``, not literals.
+
+The :class:`repro.api.Result` schema is versioned; its key spellings live
+once, in :mod:`repro._schema`.  A producer that writes ``"n_acepted"`` as a
+string literal forks the schema silently — consumers keyed on the canonical
+spelling just see the field vanish.  Inside the result-producing packages
+(``repro.api`` and ``repro.engine``) this rule refuses the canonical
+spellings as *string-literal* dict keys or subscript assignments: spell them
+via the ``_schema`` constants so a typo is an ``ImportError``/``NameError``
+instead of a silent fork.
+
+Only the unambiguous subset (:data:`repro._schema.LINT_ENFORCED_KEYS`) is
+enforced — keys that double as workload-spec vocabulary (``n_pairs``,
+``chunk_size``, ...) stay writable as plain literals in spec dictionaries.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ...._schema import LINT_ENFORCED_KEYS
+from ..engine import Rule, Violation
+
+__all__ = ["ResultSchemaKeysRule"]
+
+
+class ResultSchemaKeysRule(Rule):
+    rule_id = "result-schema-keys"
+    contract = (
+        "canonical report keys are spelled via repro._schema constants in "
+        "repro.api / repro.engine, never as string literals"
+    )
+
+    def applies_to(self, mpath: str) -> bool:
+        return mpath.startswith("repro/api/") or mpath.startswith("repro/engine/")
+
+    def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value in LINT_ENFORCED_KEYS
+                    ):
+                        findings.append(self._finding(key, key.value, path, node))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                        and target.slice.value in LINT_ENFORCED_KEYS
+                    ):
+                        findings.append(
+                            self._finding(target.slice, target.slice.value, path, node)
+                        )
+        return findings
+
+    def _finding(
+        self, node: ast.AST, key: str, path: str, span: ast.AST
+    ) -> Violation:
+        constant = key.upper()
+        return self.violation(
+            node,
+            path,
+            f"schema key '{key}' written as a string literal; use "
+            f"repro._schema.{constant} so the spelling has one authority",
+            span=span,
+        )

@@ -1,0 +1,152 @@
+"""``shm-lifecycle``: parent creates + unlinks, workers attach and only close.
+
+POSIX shared memory outlives the process; a created segment that escapes its
+``unlink()`` leaks kernel memory until reboot, and a worker that unlinks a
+segment it merely attached to yanks the mapping out from under its siblings.
+The engineered lifecycle (PR 5) is therefore asymmetric:
+
+* **create sites** — ``SharedMemory(create=True, ...)`` — must sit inside a
+  function that also has a ``try``/``finally`` (or handler) calling both
+  ``.close()`` and ``.unlink()`` on the segment;
+* **attach sites** — ``SharedMemory(name=...)`` — must *never* call
+  ``.unlink()`` on the attached segment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, Violation, terminal_name
+
+__all__ = ["ShmLifecycleRule"]
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    return terminal_name(node.func) == "SharedMemory"
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _assigned_name(stmt: ast.AST) -> "str | None":
+    """The simple name a ``x = SharedMemory(...)`` statement binds, if any."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        return stmt.target.id
+    return None
+
+
+def _method_calls(nodes: "list[ast.stmt]", name: str) -> "set[str]":
+    """Method names called on ``name`` anywhere under ``nodes``."""
+    calls: set[str] = set()
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                calls.add(node.func.attr)
+    return calls
+
+
+class ShmLifecycleRule(Rule):
+    rule_id = "shm-lifecycle"
+    contract = (
+        "SharedMemory(create=True) sits in try/finally with close()+unlink(); "
+        "attach sites never unlink"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(node, path))
+        return findings
+
+    def _check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", path: str
+    ) -> "list[Violation]":
+        findings: list[Violation] = []
+        creates: list[tuple[ast.Call, "str | None"]] = []
+        attaches: list[tuple[ast.Call, "str | None"]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and _is_shared_memory_call(node):
+                bound = self._binding_for(func, node)
+                if _is_create_call(node):
+                    creates.append((node, bound))
+                else:
+                    attaches.append((node, bound))
+
+        cleanup = self._cleanup_calls(func)
+        for call, bound in creates:
+            covered = bound is not None and (
+                "close" in cleanup.get(bound, set())
+                and "unlink" in cleanup.get(bound, set())
+            )
+            if not covered:
+                findings.append(
+                    self.violation(
+                        call,
+                        path,
+                        "SharedMemory(create=True) without a try/finally (or "
+                        "handler) that both close()s and unlink()s the "
+                        "segment; a leaked segment survives the process",
+                    )
+                )
+        for call, bound in attaches:
+            if bound is None:
+                continue
+            if "unlink" in _method_calls(func.body, bound):
+                findings.append(
+                    self.violation(
+                        call,
+                        path,
+                        f"attach site unlinks '{bound}'; only the creating "
+                        "parent may unlink a segment",
+                    )
+                )
+        return findings
+
+    def _binding_for(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", call: ast.Call
+    ) -> "str | None":
+        """The name the call's result is bound to, if a simple assignment."""
+        for stmt in ast.walk(func):
+            name = _assigned_name(stmt)
+            if name is not None and getattr(stmt, "value", None) is call:
+                return name
+            # `x = fn(SharedMemory(...))` etc. — treat as unbound.
+        return None
+
+    def _cleanup_calls(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> "dict[str, set[str]]":
+        """Methods invoked on each name inside finally/except blocks."""
+        cleanup: dict[str, set[str]] = {}
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            guarded: list[ast.stmt] = list(node.finalbody)
+            for handler in node.handlers:
+                guarded.extend(handler.body)
+            for stmt in guarded:
+                for inner in ast.walk(stmt):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and isinstance(inner.func.value, ast.Name)
+                    ):
+                        cleanup.setdefault(inner.func.value.id, set()).add(
+                            inner.func.attr
+                        )
+        return cleanup

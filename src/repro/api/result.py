@@ -9,9 +9,12 @@ carries ``schema_version`` so downstream consumers can detect format changes,
 and keeps per-stage cascade accounting, streaming extras and per-chunk rows
 as structured sections.
 
-:func:`normalize_summary` upgrades a legacy-keyed summary dictionary to the
-canonical spellings, and :func:`legacy_summary` is the compatibility shim
-producing the old spellings for consumers that still expect them.
+The canonical key spellings live once, in :mod:`repro._schema`; every summary
+this module builds uses those constants (the ``result-schema-keys`` lint rule
+refuses string literals here).  :func:`normalize_summary` upgrades a
+legacy-keyed summary dictionary to the canonical spellings, and
+:func:`legacy_summary` is the compatibility shim producing the old spellings
+for consumers that still expect them.
 """
 
 from __future__ import annotations
@@ -19,7 +22,12 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+from .. import _schema as K
+
+if TYPE_CHECKING:
+    from .workload import Workload
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -36,15 +44,15 @@ SCHEMA_VERSION = 1
 #: across ``repro-stream --json``, ``FilteringPipeline`` rows and the
 #: ``BENCH_*.json`` payloads).
 LEGACY_KEY_ALIASES: dict[str, str] = {
-    "verification_pairs": "n_accepted",
-    "rejected_pairs": "n_rejected",
-    "undefined_pairs": "n_undefined",
+    "verification_pairs": K.N_ACCEPTED,
+    "rejected_pairs": K.N_REJECTED,
+    "undefined_pairs": K.N_UNDEFINED,
     "dataset_name": "dataset",
     "filter_name": "filter",
 }
 
 
-def normalize_summary(summary: dict) -> dict:
+def normalize_summary(summary: dict[str, Any]) -> dict[str, Any]:
     """Upgrade a legacy summary dict to the canonical key spellings.
 
     Aliased keys are renamed; ``rejection_rate`` (a 0-1 fraction) is converted
@@ -53,7 +61,7 @@ def normalize_summary(summary: dict) -> dict:
     out: dict[str, Any] = {}
     for key, value in summary.items():
         if key == "rejection_rate":
-            out["reduction_pct"] = round(100.0 * float(value), 2)
+            out[K.REDUCTION_PCT] = round(100.0 * float(value), 2)
         else:
             out[LEGACY_KEY_ALIASES.get(key, key)] = value
     return out
@@ -63,18 +71,18 @@ def normalize_summary(summary: dict) -> dict:
 #: count keys are re-spelt: ``dataset``/``filter`` were already the legacy
 #: summary spellings (``dataset_name``/``filter_name`` are attribute names).
 _CANONICAL_TO_LEGACY = {
-    "n_accepted": "verification_pairs",
-    "n_rejected": "rejected_pairs",
-    "n_undefined": "undefined_pairs",
+    K.N_ACCEPTED: "verification_pairs",
+    K.N_REJECTED: "rejected_pairs",
+    K.N_UNDEFINED: "undefined_pairs",
 }
 
 
-def legacy_summary(summary: dict) -> dict:
+def legacy_summary(summary: dict[str, Any]) -> dict[str, Any]:
     """Compatibility shim: re-spell a canonical summary with the legacy keys."""
     return {_CANONICAL_TO_LEGACY.get(key, key): value for key, value in summary.items()}
 
 
-def _json_safe(value):
+def _json_safe(value: Any) -> Any:
     """Map non-finite floats to None so dumps stay strict RFC-8259 JSON."""
     if isinstance(value, float) and not math.isfinite(value):
         return None
@@ -119,14 +127,14 @@ class Result:
     """
 
     kind: str
-    workload: dict
+    workload: dict[str, Any]
     dataset: str
     filter: str
-    summary: dict
-    streaming: dict | None = None
-    stages: list[dict] = field(default_factory=list)
-    chunks: list[dict] | None = None
-    rows: list[dict] | None = None
+    summary: dict[str, Any]
+    streaming: dict[str, Any] | None = None
+    stages: list[dict[str, Any]] = field(default_factory=list)
+    chunks: list[dict[str, Any]] | None = None
+    rows: list[dict[str, Any]] | None = None
     raw: Any = None
     wall_clock_s: float = 0.0
     schema_version: int = SCHEMA_VERSION
@@ -134,7 +142,7 @@ class Result:
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
-    def as_dict(self, legacy_keys: bool = False) -> dict:
+    def as_dict(self, legacy_keys: bool = False) -> dict[str, Any]:
         """JSON-ready canonical view (deterministic for a deterministic run).
 
         ``legacy_keys=True`` re-spells the summary section with the pre-schema
@@ -155,7 +163,8 @@ class Result:
             out["chunks"] = self.chunks
         if self.rows is not None:
             out["rows"] = self.rows
-        return _json_safe(out)
+        safe: dict[str, Any] = _json_safe(out)
+        return safe
 
     def to_json(self, indent: int = 2, legacy_keys: bool = False) -> str:
         """The canonical JSON serialisation (sorted keys, trailing newline)."""
@@ -169,31 +178,31 @@ class Result:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_pipeline_report(
-        cls, report, workload, read_length: int, filter_name: str
+        cls, report: Any, workload: "Workload", read_length: int, filter_name: str
     ) -> "Result":
         """Build from an in-memory :class:`~repro.core.pipeline.PipelineReport`."""
         fr = report.filter_result
         summary = {
-            "error_threshold": report.error_threshold,
-            "read_length": int(read_length),
-            "n_pairs": report.n_pairs,
-            "n_accepted": fr.n_accepted,
-            "n_rejected": fr.n_rejected,
-            "n_undefined": fr.n_undefined,
-            "reduction_pct": round(100.0 * report.reduction, 2),
-            "kernel_time_s": fr.kernel_time_s,
-            "filter_time_s": fr.filter_time_s,
-            "verification_time_s": report.verification_time_s,
-            "no_filter_verification_time_s": report.no_filter_verification_time_s,
-            "verification_speedup": round(report.verification_speedup, 3),
-            "theoretical_speedup": round(report.theoretical_speedup, 3),
-            "verified_accepts": report.verified_accepts,
-            "verified_rejects": report.verified_rejects,
+            K.ERROR_THRESHOLD: report.error_threshold,
+            K.READ_LENGTH: int(read_length),
+            K.N_PAIRS: report.n_pairs,
+            K.N_ACCEPTED: fr.n_accepted,
+            K.N_REJECTED: fr.n_rejected,
+            K.N_UNDEFINED: fr.n_undefined,
+            K.REDUCTION_PCT: round(100.0 * report.reduction, 2),
+            K.KERNEL_TIME_S: fr.kernel_time_s,
+            K.FILTER_TIME_S: fr.filter_time_s,
+            K.VERIFICATION_TIME_S: report.verification_time_s,
+            K.NO_FILTER_VERIFICATION_TIME_S: report.no_filter_verification_time_s,
+            K.VERIFICATION_SPEEDUP: round(report.verification_speedup, 3),
+            K.THEORETICAL_SPEEDUP: round(report.theoretical_speedup, 3),
+            K.VERIFIED_ACCEPTS: report.verified_accepts,
+            K.VERIFIED_REJECTS: report.verified_rejects,
         }
         # Measured wall clock is run-dependent; the canonical report keeps
         # only the deterministic counts and modelled times (raw has the rest).
         stages = [
-            {key: value for key, value in s.items() if key != "wall_clock_s"}
+            {key: value for key, value in s.items() if key != K.WALL_CLOCK_S}
             for s in getattr(fr, "stage_summaries", lambda: [])()
         ]
         return cls(
@@ -209,33 +218,38 @@ class Result:
         )
 
     @classmethod
-    def from_streaming_report(cls, report, workload, stages: list[dict] | None = None) -> "Result":
+    def from_streaming_report(
+        cls,
+        report: Any,
+        workload: "Workload",
+        stages: list[dict[str, Any]] | None = None,
+    ) -> "Result":
         """Build from a :class:`~repro.runtime.streaming.StreamingReport`."""
         summary = {
-            "error_threshold": report.error_threshold,
-            "read_length": report.read_length,
-            "n_pairs": report.n_pairs,
-            "n_accepted": report.n_accepted,
-            "n_rejected": report.n_rejected,
-            "n_undefined": report.n_undefined,
-            "reduction_pct": round(100.0 * report.reduction, 2),
-            "kernel_time_s": report.kernel_time_s,
-            "filter_time_s": report.filter_time_s,
-            "verification_time_s": report.verification_time_s,
-            "no_filter_verification_time_s": report.no_filter_verification_time_s,
-            "verification_speedup": round(report.verification_speedup, 3),
-            "theoretical_speedup": round(report.theoretical_speedup, 3),
-            "verified_accepts": report.verified_accepts,
-            "verified_rejects": report.verified_rejects,
+            K.ERROR_THRESHOLD: report.error_threshold,
+            K.READ_LENGTH: report.read_length,
+            K.N_PAIRS: report.n_pairs,
+            K.N_ACCEPTED: report.n_accepted,
+            K.N_REJECTED: report.n_rejected,
+            K.N_UNDEFINED: report.n_undefined,
+            K.REDUCTION_PCT: round(100.0 * report.reduction, 2),
+            K.KERNEL_TIME_S: report.kernel_time_s,
+            K.FILTER_TIME_S: report.filter_time_s,
+            K.VERIFICATION_TIME_S: report.verification_time_s,
+            K.NO_FILTER_VERIFICATION_TIME_S: report.no_filter_verification_time_s,
+            K.VERIFICATION_SPEEDUP: round(report.verification_speedup, 3),
+            K.THEORETICAL_SPEEDUP: round(report.theoretical_speedup, 3),
+            K.VERIFIED_ACCEPTS: report.verified_accepts,
+            K.VERIFIED_REJECTS: report.verified_rejects,
         }
         streaming = {
-            "chunk_size": report.chunk_size,
-            "n_chunks": report.n_chunks,
-            "n_batches": report.n_batches,
-            "n_devices": report.n_devices,
-            "serial_time_s": report.serial_time_s,
-            "overlapped_time_s": report.overlapped_time_s,
-            "overlap_speedup": round(report.overlap_speedup, 3),
+            K.CHUNK_SIZE: report.chunk_size,
+            K.N_CHUNKS: report.n_chunks,
+            K.N_BATCHES: report.n_batches,
+            K.N_DEVICES: report.n_devices,
+            K.SERIAL_TIME_S: report.serial_time_s,
+            K.OVERLAPPED_TIME_S: report.overlapped_time_s,
+            K.OVERLAP_SPEEDUP: round(report.overlap_speedup, 3),
         }
         chunks = None
         if workload.output.include_chunks:
@@ -254,7 +268,9 @@ class Result:
         )
 
     @classmethod
-    def from_mapping_run(cls, run, workload, rows: list[dict]) -> "Result":
+    def from_mapping_run(
+        cls, run: Any, workload: "Workload", rows: list[dict[str, Any]]
+    ) -> "Result":
         """Build from a whole-genome :class:`WholeGenomeRun` (``repro-map``).
 
         With ``input.prefilter = false`` the report describes the unfiltered
@@ -264,16 +280,16 @@ class Result:
         mapping = run.filtered if prefilter else run.no_filter
         stats = mapping.stats
         summary = {
-            "error_threshold": run.error_threshold,
-            "read_length": run.read_length,
-            "n_pairs": stats.candidate_pairs,
-            "n_accepted": stats.verification_pairs,
-            "n_rejected": stats.rejected_pairs,
-            "n_undefined": stats.undefined_pairs,
-            "reduction_pct": round(100.0 * stats.reduction, 2),
-            "mappings": stats.mappings,
-            "mapped_reads": stats.mapped_reads,
-            "n_reads": stats.n_reads,
+            K.ERROR_THRESHOLD: run.error_threshold,
+            K.READ_LENGTH: run.read_length,
+            K.N_PAIRS: stats.candidate_pairs,
+            K.N_ACCEPTED: stats.verification_pairs,
+            K.N_REJECTED: stats.rejected_pairs,
+            K.N_UNDEFINED: stats.undefined_pairs,
+            K.REDUCTION_PCT: round(100.0 * stats.reduction, 2),
+            K.MAPPINGS: stats.mappings,
+            K.MAPPED_READS: stats.mapped_reads,
+            K.N_READS: stats.n_reads,
         }
         return cls(
             kind="mapping",

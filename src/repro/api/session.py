@@ -17,16 +17,20 @@ sessions (locked down by ``tests/test_api_session.py``).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
+from .. import _schema as K
 from .._defaults import VERIFICATION_COST_PER_PAIR_S
 from .result import Result
 from .workload import Workload
 
+if TYPE_CHECKING:
+    from ..exec.executor import Executor
+
 __all__ = ["Session"]
 
 
-def _setup_for(name: str):
+def _setup_for(name: str) -> Any:
     from ..gpusim.device import SETUP_1, SETUP_2
 
     return {"setup1": SETUP_1, "setup2": SETUP_2}[name]
@@ -44,18 +48,18 @@ class Session:
 
     def __init__(
         self, verification_cost_per_pair_s: float = VERIFICATION_COST_PER_PAIR_S
-    ):
+    ) -> None:
         self.verification_cost_per_pair_s = verification_cost_per_pair_s
-        self._engines: dict[tuple, object] = {}
-        self._datasets: dict[tuple, object] = {}
-        self._references: dict[str, object] = {}
-        self._indexes: dict[tuple, object] = {}
-        self._executors: dict[tuple, object] = {}
+        self._engines: dict[tuple[Any, ...], Any] = {}
+        self._datasets: dict[tuple[Any, ...], Any] = {}
+        self._references: dict[str, Any] = {}
+        self._indexes: dict[tuple[str, int], Any] = {}
+        self._executors: dict[tuple[str, int], "Executor"] = {}
 
     # ------------------------------------------------------------------ #
     # Cached construction
     # ------------------------------------------------------------------ #
-    def engine_for(self, workload: Workload, read_length: int):
+    def engine_for(self, workload: Workload, read_length: int) -> Any:
         """The cached engine/cascade for a workload's filter + execution spec."""
         ex = workload.execution
         key = (
@@ -89,7 +93,7 @@ class Session:
             self._engines[key] = engine
         return engine
 
-    def dataset_for(self, workload: Workload):
+    def dataset_for(self, workload: Workload) -> Any:
         """The cached simulated :class:`PairDataset` for a ``dataset`` input."""
         spec = workload.input
         key = (spec.dataset, spec.n_pairs, spec.seed)
@@ -101,7 +105,7 @@ class Session:
             self._datasets[key] = dataset
         return dataset
 
-    def reference_for(self, path: str):
+    def reference_for(self, path: str) -> Any:
         """The cached :class:`ReferenceGenome` loaded from a FASTA path."""
         reference = self._references.get(path)
         if reference is None:
@@ -111,7 +115,7 @@ class Session:
             self._references[path] = reference
         return reference
 
-    def index_for(self, path: str, k: int):
+    def index_for(self, path: str, k: int) -> Any:
         """The cached seeding :class:`KmerIndex` over ``path``'s reference."""
         key = (path, int(k))
         index = self._indexes.get(key)
@@ -122,7 +126,7 @@ class Session:
             self._indexes[key] = index
         return index
 
-    def executor_for(self, workload: Workload):
+    def executor_for(self, workload: Workload) -> "Executor | None":
         """The cached execution backend for a workload's execution spec.
 
         ``executor = "serial"`` with one worker returns ``None`` — the layers
@@ -156,7 +160,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
@@ -193,7 +197,7 @@ class Session:
         return [self.run(workload) for workload in workloads]
 
     # -- in-memory path -------------------------------------------------- #
-    def _memory_dataset(self, workload: Workload):
+    def _memory_dataset(self, workload: Workload) -> Any:
         spec = workload.input
         if spec.kind == "dataset":
             return self.dataset_for(workload)
@@ -267,7 +271,7 @@ class Session:
         return Result.from_streaming_report(report, workload, stages=stages)
 
     @staticmethod
-    def _streaming_stage_rows(engine, report) -> list[dict]:
+    def _streaming_stage_rows(engine: Any, report: Any) -> "list[dict[str, Any]]":
         """Cascade stage accounting reconstructed from the streamed totals.
 
         Rows carry the same keys as the in-memory cascade accounts and —
@@ -283,7 +287,7 @@ class Session:
         if not stage_engines:
             return []
         stage_inputs = report.metadata.get("stage_inputs", {})
-        rows = []
+        rows: list[dict[str, Any]] = []
         for index, stage in enumerate(stage_engines):
             if index not in stage_inputs:
                 break  # an earlier stage rejected everything in every chunk
@@ -304,13 +308,13 @@ class Session:
             )
             rows.append(
                 {
-                    "stage": index,
-                    "filter": stage.name,
-                    "n_input": n_input,
-                    "n_accepted": n_accepted,
-                    "n_rejected": n_input - n_accepted,
-                    "kernel_time_s": timing.kernel_s,
-                    "filter_time_s": timing.filter_s,
+                    K.STAGE: index,
+                    K.FILTER: stage.name,
+                    K.N_INPUT: n_input,
+                    K.N_ACCEPTED: n_accepted,
+                    K.N_REJECTED: n_input - n_accepted,
+                    K.KERNEL_TIME_S: timing.kernel_s,
+                    K.FILTER_TIME_S: timing.filter_s,
                 }
             )
         return rows
@@ -338,7 +342,7 @@ class Session:
         return Result.from_mapping_run(run, workload, rows)
 
 
-def _session_streaming_pipeline(session: Session, workload: Workload):
+def _session_streaming_pipeline(session: Session, workload: Workload) -> Any:
     """A :class:`StreamingPipeline` whose engines come from the session cache.
 
     The pipeline builds its engine lazily when the first chunk fixes the read
@@ -348,7 +352,7 @@ def _session_streaming_pipeline(session: Session, workload: Workload):
     from ..runtime.streaming import StreamingPipeline
 
     class _Bound(StreamingPipeline):
-        def _engine_for(self, read_length: int):  # type: ignore[override]
+        def _engine_for(self, read_length: int) -> Any:
             if self.engine is None or self.engine.read_length != read_length:
                 self.engine = session.engine_for(workload, read_length)
             return self.engine

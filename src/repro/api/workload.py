@@ -58,7 +58,7 @@ def _require(condition: bool, fieldpath: str, message: str) -> None:
         raise _err(fieldpath, message)
 
 
-def _coerce(section: str, name: str, value: Any, typ: type) -> Any:
+def _coerce(section: str, name: str, value: Any, typ: "type[Any]") -> Any:
     """Coerce a parsed TOML/JSON value to the dataclass field type, loudly."""
     if typ is bool:
         if isinstance(value, bool):
@@ -82,7 +82,9 @@ def _coerce(section: str, name: str, value: Any, typ: type) -> Any:
 _SCALAR_TYPES = {"int": int, "bool": bool, "str": str, int: int, bool: bool, str: str}
 
 
-def _build_section(cls, section: str, data: Mapping[str, Any], aliases=None):
+def _build_section(
+    cls: Any, section: str, data: Mapping[str, Any], aliases: Any = None
+) -> Any:
     """Instantiate a spec dataclass from a mapping, rejecting unknown keys."""
     if not isinstance(data, Mapping):
         raise _err(section, f"expected a table/object, got {data!r}")
@@ -404,7 +406,7 @@ class Workload:
             return self.execution.mode
         return "streaming" if self.input.kind in ("tsv", "reads") else "memory"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> "dict[str, Any]":
         """Fully-resolved canonical dictionary recording exactly what runs.
 
         Only the fields that *apply* are emitted — kind-irrelevant input
@@ -475,7 +477,7 @@ class Workload:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
-    def replace(self, **sections) -> "Workload":
+    def replace(self, **sections: Any) -> "Workload":
         """A copy with whole sections replaced (``input=``, ``filter=``, ...)."""
         return dataclasses.replace(self, **sections)
 

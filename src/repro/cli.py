@@ -44,7 +44,15 @@ from .api.defaults import (
 )
 from .analysis import format_table
 
-__all__ = ["main", "run_main", "filter_main", "map_main", "experiment_main", "stream_main"]
+__all__ = [
+    "main",
+    "run_main",
+    "filter_main",
+    "map_main",
+    "experiment_main",
+    "stream_main",
+    "lint_main",
+]
 
 
 # --------------------------------------------------------------------------- #
@@ -415,6 +423,16 @@ def experiment_main(argv: Sequence[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro lint
+# --------------------------------------------------------------------------- #
+def lint_main(argv: Sequence[str] | None = None) -> int:
+    """Run the repo-invariant linter (lazy import: no argparse tree otherwise)."""
+    from .analysis.lint.cli import main as lint_cli_main
+
+    return lint_cli_main(argv)
+
+
+# --------------------------------------------------------------------------- #
 # repro (dispatcher)
 # --------------------------------------------------------------------------- #
 _COMMANDS = {
@@ -423,6 +441,7 @@ _COMMANDS = {
     "map": map_main,
     "stream": stream_main,
     "experiment": experiment_main,
+    "lint": lint_main,
 }
 
 
@@ -430,12 +449,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """The ``repro`` umbrella command: dispatch to a subcommand."""
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {run,filter,map,stream,experiment} ...\n\n"
+        "usage: repro {run,filter,map,stream,experiment,lint} ...\n\n"
         "  run         execute a declarative TOML/JSON workload file\n"
         "  filter      filter a simulated candidate-pair pool\n"
         "  map         run the mrFAST-like mapper on simulated reads\n"
         "  stream      stream real FASTQ/FASTA or pairs-TSV inputs\n"
         "  experiment  regenerate one of the paper's tables/figures\n"
+        "  lint        check the tree against the repo's invariant rules\n"
     )
     if not argv:
         print(usage, file=sys.stderr)

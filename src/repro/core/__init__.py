@@ -11,7 +11,9 @@ from .kernel import (
     shift_words_right,
     xor_words,
 )
-from .pipeline import FilteringPipeline, PipelineReport
+# Public compatibility re-export of the package's own defining module, not a
+# new internal call site on the deprecated façade.
+from .pipeline import FilteringPipeline, PipelineReport  # reprolint: disable=deprecated-facade-imports
 from .preprocess import PreparedBatch, encode_pair_arrays, prepare_batches
 from .results import FilterRunResult
 

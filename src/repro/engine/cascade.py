@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from .. import _schema as K
 from ..core.config import EncodingActor
 from ..core.results import FilterRunResult
 from ..genomics.encoding import EncodedPairBatch
@@ -46,16 +47,16 @@ class CascadeStageAccount:
     filter_time_s: float
     wall_clock_s: float
 
-    def summary(self) -> dict:
+    def summary(self) -> "dict[str, object]":
         return {
-            "stage": self.stage,
-            "filter": self.filter_name,
-            "n_input": self.n_input,
-            "n_accepted": self.n_accepted,
-            "n_rejected": self.n_rejected,
-            "kernel_time_s": self.kernel_time_s,
-            "filter_time_s": self.filter_time_s,
-            "wall_clock_s": self.wall_clock_s,
+            K.STAGE: self.stage,
+            K.FILTER: self.filter_name,
+            K.N_INPUT: self.n_input,
+            K.N_ACCEPTED: self.n_accepted,
+            K.N_REJECTED: self.n_rejected,
+            K.KERNEL_TIME_S: self.kernel_time_s,
+            K.FILTER_TIME_S: self.filter_time_s,
+            K.WALL_CLOCK_S: self.wall_clock_s,
         }
 
 
@@ -65,7 +66,7 @@ class CascadeRunResult(FilterRunResult):
 
     stage_accounts: list[CascadeStageAccount] = field(default_factory=list)
 
-    def stage_summaries(self) -> list[dict]:
+    def stage_summaries(self) -> "list[dict[str, object]]":
         return [account.summary() for account in self.stage_accounts]
 
 
@@ -80,7 +81,7 @@ class FilterCascade:
         single well-defined accept contract for the verifier that follows it.
     """
 
-    def __init__(self, stages: Sequence[FilterEngine]):
+    def __init__(self, stages: Sequence[FilterEngine]) -> None:
         stages = list(stages)
         if not stages:
             raise ValueError("a cascade needs at least one stage")
@@ -98,7 +99,7 @@ class FilterCascade:
         names: Sequence[str],
         read_length: int,
         error_threshold: int,
-        **engine_kwargs,
+        **engine_kwargs: Any,
     ) -> "FilterCascade":
         """Build a cascade from registry names, e.g. ``["gatekeeper-gpu", "sneakysnake"]``."""
         return cls(
@@ -135,7 +136,7 @@ class FilterCascade:
     # Filtering
     # ------------------------------------------------------------------ #
     def filter_encoded(
-        self, pairs: EncodedPairBatch, executor=None
+        self, pairs: EncodedPairBatch, executor: Any = None
     ) -> CascadeRunResult:
         """Filter an already-encoded pair batch through every stage.
 
@@ -224,7 +225,9 @@ class FilterCascade:
             stage_accounts=accounts,
         )
 
-    def _filter_encoded_parallel(self, pairs: EncodedPairBatch, executor) -> CascadeRunResult:
+    def _filter_encoded_parallel(
+        self, pairs: EncodedPairBatch, executor: Any
+    ) -> CascadeRunResult:
         """Executor-backed :meth:`filter_encoded`: shares run all stages locally.
 
         The partition-dependent quantities are never taken from the shares:
@@ -296,7 +299,7 @@ class FilterCascade:
         )
 
     def filter_lists(
-        self, reads: Sequence[str], segments: Sequence[str], executor=None
+        self, reads: Sequence[str], segments: Sequence[str], executor: Any = None
     ) -> CascadeRunResult:
         """Filter parallel lists through every stage, survivors only.
 
@@ -311,13 +314,13 @@ class FilterCascade:
             EncodedPairBatch.from_lists(reads, segments), executor=executor
         )
 
-    def filter_pairs(self, pairs: Sequence, executor=None) -> CascadeRunResult:
+    def filter_pairs(self, pairs: Sequence[Any], executor: Any = None) -> CascadeRunResult:
         """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
         reads = [p.read for p in pairs]
         segments = [p.reference_segment for p in pairs]
         return self.filter_lists(reads, segments, executor=executor)
 
-    def filter_dataset(self, dataset, executor=None) -> CascadeRunResult:
+    def filter_dataset(self, dataset: Any, executor: Any = None) -> CascadeRunResult:
         """Filter a :class:`repro.simulate.PairDataset` (cached encode-once batch)."""
         encoded = getattr(dataset, "encoded", None)
         if callable(encoded):

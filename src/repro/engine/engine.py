@@ -20,9 +20,10 @@ distinction meaningful; all other filters run their own
 from __future__ import annotations
 
 import time
-from typing import Sequence, Type
+from typing import Any, Sequence, Type
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..core.config import EncodingActor, SystemConfiguration
 from ..core.buffers import FiltrationBuffers
@@ -74,8 +75,8 @@ class FilterEngine:
         n_devices: int = 1,
         encoding: EncodingActor = EncodingActor.DEVICE,
         max_reads_per_batch: int = 100_000,
-        **filter_kwargs,
-    ):
+        **filter_kwargs: Any,
+    ) -> None:
         if setup is not None and devices is not None:
             raise ValueError("pass either devices or setup, not both")
         if setup is not None:
@@ -134,7 +135,7 @@ class FilterEngine:
 
     def allocate_buffers(self, batch_pairs: int) -> list[FiltrationBuffers]:
         """Allocate per-device unified-memory buffers for a batch (bookkeeping)."""
-        buffers = []
+        buffers: list[FiltrationBuffers] = []
         for device in self.config.devices:
             buf = FiltrationBuffers(device, self.config, batch_pairs)
             buf.apply_memory_advice()
@@ -145,7 +146,9 @@ class FilterEngine:
     # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
-    def _run_batch(self, batch) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _run_batch(
+        self, batch: Any
+    ) -> "tuple[NDArray[np.int32], NDArray[np.bool_], NDArray[np.bool_]]":
         """(estimates, accepted, undefined) of one :class:`PreparedBatch`."""
         e = self.config.error_threshold
         if self.uses_word_kernel:
@@ -194,7 +197,7 @@ class FilterEngine:
 
     def filter_encoded_share(
         self, pairs: EncodedPairBatch
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    ) -> "tuple[NDArray[np.int32], NDArray[np.bool_], NDArray[np.bool_], int]":
         """Run the batched kernel path over one device's share of the work.
 
         This is the single-device core of :meth:`filter_encoded`: no device
@@ -222,14 +225,14 @@ class FilterEngine:
 
     def filter_share(
         self, reads: Sequence[str], segments: Sequence[str]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    ) -> "tuple[NDArray[np.int32], NDArray[np.bool_], NDArray[np.bool_], int]":
         """String-list adapter over :meth:`filter_encoded_share` (encodes once)."""
         if len(reads) != len(segments):
             raise ValueError("reads and segments must have the same length")
         return self.filter_encoded_share(EncodedPairBatch.from_lists(reads, segments))
 
     def filter_encoded(
-        self, pairs: EncodedPairBatch, executor=None
+        self, pairs: EncodedPairBatch, executor: Any = None
     ) -> FilterRunResult:
         """Filter an already-encoded pair batch (the encode-once hot path).
 
@@ -305,7 +308,7 @@ class FilterEngine:
         )
 
     def filter_lists(
-        self, reads: Sequence[str], segments: Sequence[str], executor=None
+        self, reads: Sequence[str], segments: Sequence[str], executor: Any = None
     ) -> FilterRunResult:
         """Filter parallel lists of reads and candidate reference segments.
 
@@ -321,13 +324,13 @@ class FilterEngine:
             EncodedPairBatch.from_lists(reads, segments), executor=executor
         )
 
-    def filter_pairs(self, pairs: Sequence, executor=None) -> FilterRunResult:
+    def filter_pairs(self, pairs: Sequence[Any], executor: Any = None) -> FilterRunResult:
         """Filter a sequence of :class:`repro.genomics.sequence.SequencePair`."""
         reads = [p.read for p in pairs]
         segments = [p.reference_segment for p in pairs]
         return self.filter_lists(reads, segments, executor=executor)
 
-    def filter_dataset(self, dataset, executor=None) -> FilterRunResult:
+    def filter_dataset(self, dataset: Any, executor: Any = None) -> FilterRunResult:
         """Filter a :class:`repro.simulate.PairDataset` (cached encode-once batch)."""
         encoded = getattr(dataset, "encoded", None)
         if callable(encoded):

@@ -10,7 +10,7 @@ immediately usable everywhere a name is accepted.
 
 from __future__ import annotations
 
-from typing import Iterable, Type
+from typing import Any, Iterable, Type
 
 from ..filters.base import PreAlignmentFilter
 from ..filters.gatekeeper import GateKeeperFilter
@@ -77,7 +77,7 @@ def get_filter_class(name: str) -> Type[PreAlignmentFilter]:
     return _REGISTRY[canonical]
 
 
-def get_filter(name: str, error_threshold: int, **kwargs) -> PreAlignmentFilter:
+def get_filter(name: str, error_threshold: int, **kwargs: Any) -> PreAlignmentFilter:
     """Instantiate the filter registered under ``name``.
 
     >>> get_filter("shouji", 5).name
@@ -89,7 +89,7 @@ def get_filter(name: str, error_threshold: int, **kwargs) -> PreAlignmentFilter:
 def resolve_filter(
     spec: "str | PreAlignmentFilter | Type[PreAlignmentFilter]",
     error_threshold: int,
-    **kwargs,
+    **kwargs: Any,
 ) -> PreAlignmentFilter:
     """Coerce a filter *spec* (name, class or instance) into an instance.
 

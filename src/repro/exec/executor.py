@@ -32,12 +32,17 @@ executor it cached).  Executors are also context managers.
 from __future__ import annotations
 
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as concurrent_wait
+from typing import TYPE_CHECKING, Any
 
 from ..genomics.encoding import EncodedPairBatch
 from .shared_batch import export_batch
 from .tasks import ShareOutcome, run_share, run_shared_share
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+    from multiprocessing.shared_memory import SharedMemory
 
 __all__ = [
     "EXECUTOR_KINDS",
@@ -59,7 +64,7 @@ class Executor:
 
     kind: str = "serial"
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = int(workers)
@@ -69,7 +74,7 @@ class Executor:
     # Backend API
     # ------------------------------------------------------------------ #
     def run_shares(
-        self, runner: str, engine, pairs: EncodedPairBatch, shares: "list[slice]"
+        self, runner: str, engine: Any, pairs: EncodedPairBatch, shares: "list[slice]"
     ) -> "list[ShareOutcome | None]":
         """Run ``runner`` over every non-empty share; ``None`` for empty ones."""
         raise NotImplementedError
@@ -94,7 +99,7 @@ class Executor:
     def __enter__(self) -> "Executor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -106,7 +111,9 @@ class SerialExecutor(Executor):
 
     kind = "serial"
 
-    def run_shares(self, runner, engine, pairs, shares):
+    def run_shares(
+        self, runner: str, engine: Any, pairs: EncodedPairBatch, shares: "list[slice]"
+    ) -> "list[ShareOutcome | None]":
         self._check_open()
         return [
             run_share(runner, engine, pairs, share)
@@ -121,7 +128,7 @@ class ThreadExecutor(Executor):
 
     kind = "threads"
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1) -> None:
         super().__init__(workers)
         self._pool: ThreadPoolExecutor | None = None
 
@@ -133,10 +140,12 @@ class ThreadExecutor(Executor):
             )
         return self._pool
 
-    def run_shares(self, runner, engine, pairs, shares):
+    def run_shares(
+        self, runner: str, engine: Any, pairs: EncodedPairBatch, shares: "list[slice]"
+    ) -> "list[ShareOutcome | None]":
         pool = self._ensure_pool()
         keep = self._nonempty(shares)
-        futures = {
+        futures: dict[int, Future[ShareOutcome]] = {
             i: pool.submit(run_share, runner, engine, pairs, shares[i]) for i in keep
         }
         return [futures[i].result() if i in futures else None for i in range(len(shares))]
@@ -148,7 +157,7 @@ class ThreadExecutor(Executor):
         super().close()
 
 
-def _preferred_mp_context():
+def _preferred_mp_context() -> "BaseContext":
     import multiprocessing
 
     methods = multiprocessing.get_all_start_methods()
@@ -175,14 +184,14 @@ class ProcessExecutor(Executor):
 
     kind = "processes"
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1) -> None:
         super().__init__(workers)
         self._pool: ProcessPoolExecutor | None = None
-        self._live_segments: dict[str, object] = {}
+        self._live_segments: dict[str, SharedMemory] = {}
         self._finalizer = weakref.finalize(self, ProcessExecutor._cleanup, self.__dict__)
 
     @staticmethod
-    def _cleanup(state: dict) -> None:
+    def _cleanup(state: dict[str, Any]) -> None:
         pool = state.get("_pool")
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -208,7 +217,9 @@ class ProcessExecutor(Executor):
         """Shared-memory segments currently owned (0 between fan-outs)."""
         return len(self._live_segments)
 
-    def run_shares(self, runner, engine, pairs, shares):
+    def run_shares(
+        self, runner: str, engine: Any, pairs: EncodedPairBatch, shares: "list[slice]"
+    ) -> "list[ShareOutcome | None]":
         pool = self._ensure_pool()
         keep = self._nonempty(shares)
         if not keep:
@@ -217,7 +228,7 @@ class ProcessExecutor(Executor):
         segment, handle = export_batch(pairs, include_words=include_words)
         self._live_segments[segment.name] = segment
         try:
-            futures = {
+            futures: dict[int, Future[ShareOutcome]] = {
                 i: pool.submit(run_shared_share, runner, engine, handle, shares[i])
                 for i in keep
             }
@@ -246,7 +257,7 @@ class ProcessExecutor(Executor):
         super().close()
 
 
-def accepts_executor(method) -> bool:
+def accepts_executor(method: Any) -> bool:
     """Whether a filtering entry point takes an ``executor=`` argument.
 
     The pipelines use this to keep custom engines working: anything
@@ -260,7 +271,7 @@ def accepts_executor(method) -> bool:
         return False
 
 
-def wants_word_arrays(engine) -> bool:
+def wants_word_arrays(engine: Any) -> bool:
     """Whether any stage of ``engine`` consumes the packed word arrays."""
     stages = getattr(engine, "stages", None)
     if stages is not None:
@@ -268,7 +279,7 @@ def wants_word_arrays(engine) -> bool:
     return bool(getattr(engine, "_needs_word_arrays", False))
 
 
-_EXECUTOR_CLASSES = {
+_EXECUTOR_CLASSES: dict[str, type[Executor]] = {
     "serial": SerialExecutor,
     "threads": ThreadExecutor,
     "processes": ProcessExecutor,

@@ -19,8 +19,12 @@ of workers.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Any
 
+import numpy as np
+from numpy.typing import NDArray
+
+from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.multi_gpu import split_evenly
 from .executor import Executor
 from .tasks import ShareOutcome
@@ -45,7 +49,7 @@ def share_slices(n_items: int, n_shares: int) -> "list[slice]":
     ]
 
 
-def _share_batch_size(config, n_share: int) -> int:
+def _share_batch_size(config: Any, n_share: int) -> int:
     """The batch size one device share of ``n_share`` pairs is split by.
 
     Mirrors :func:`repro.core.preprocess.prepare_batches_encoded` exactly.
@@ -55,7 +59,7 @@ def _share_batch_size(config, n_share: int) -> int:
     return max(1, min(config.batch_size(n_share) or n_share, config.max_reads_per_batch))
 
 
-def expected_n_batches(config, n_pairs: int) -> int:
+def expected_n_batches(config: Any, n_pairs: int) -> int:
     """Kernel calls the serial device-split execution performs on ``n_pairs``.
 
     The serial path splits pairs evenly across the configured devices and
@@ -72,8 +76,8 @@ def expected_n_batches(config, n_pairs: int) -> int:
 
 
 def fan_out_engine(
-    engine, pairs, executor: Executor
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    engine: Any, pairs: EncodedPairBatch, executor: Executor
+) -> "tuple[NDArray[np.int32], NDArray[np.bool_], NDArray[np.bool_]]":
     """Run one engine over ``pairs`` split across the executor's workers.
 
     Returns ``(estimated_edits, accepted, undefined)`` — identical arrays to
@@ -92,8 +96,8 @@ def fan_out_engine(
 
 
 def fan_out_cascade(
-    cascade, pairs, executor: Executor
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, "dict[int, tuple[int, int]]"]:
+    cascade: Any, pairs: EncodedPairBatch, executor: Executor
+) -> "tuple[NDArray[np.int32], NDArray[np.bool_], NDArray[np.bool_], dict[int, tuple[int, int]]]":
     """Run every cascade stage over ``pairs``, split across the workers.
 
     Each worker carries its share through all stages locally (survivors are
@@ -120,7 +124,7 @@ def fan_out_cascade(
     return estimates, accepted, undefined, stage_totals
 
 
-def _materialise_words(engine, pairs) -> None:
+def _materialise_words(engine: Any, pairs: EncodedPairBatch) -> None:
     """Pack the word arrays once on the parent batch before fanning out.
 
     Share views inherit the cached rows, so neither thread workers (which
@@ -137,9 +141,9 @@ def _materialise_words(engine, pairs) -> None:
 def _reduce_arrays(
     shares: "list[slice]",
     outcomes: "list[ShareOutcome | None]",
-    estimates: np.ndarray,
-    accepted: np.ndarray,
-    undefined: np.ndarray,
+    estimates: "NDArray[np.int32]",
+    accepted: "NDArray[np.bool_]",
+    undefined: "NDArray[np.bool_]",
 ) -> None:
     for share, outcome in zip(shares, outcomes):
         if outcome is None:

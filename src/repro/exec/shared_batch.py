@@ -27,12 +27,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..genomics.encoding import EncodedBatch, EncodedPairBatch
 
-__all__ = ["SharedArraySpec", "SharedBatchHandle", "export_batch", "attach_batch"]
+__all__ = [
+    "SharedArraySpec",
+    "SharedBatchHandle",
+    "export_batch",
+    "attach_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -80,7 +87,7 @@ def export_batch(
     segment — the caller must ``close()`` + ``unlink()`` it — and the handle
     to send to workers.
     """
-    sources: dict[str, np.ndarray] = {
+    sources: dict[str, NDArray[Any]] = {
         "read_codes": np.ascontiguousarray(pairs.read_codes),
         "ref_codes": np.ascontiguousarray(pairs.ref_codes),
         "undefined": np.ascontiguousarray(pairs.undefined),
@@ -96,11 +103,20 @@ def export_batch(
         specs[key] = SharedArraySpec(offset, tuple(array.shape), array.dtype.str)
         offset += array.nbytes
     segment = shared_memory.SharedMemory(create=True, size=max(1, offset))
-    for key, array in sources.items():
-        spec = specs[key]
-        view = np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
-        view[...] = array
-        del view
+    try:
+        for key, array in sources.items():
+            spec = specs[key]
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset
+            )
+            view[...] = array
+            del view
+    except BaseException:
+        # The segment has no owner yet (the caller never saw it); reclaim it
+        # here or it outlives the process.
+        segment.close()
+        segment.unlink()
+        raise
     handle = SharedBatchHandle(
         name=segment.name,
         length=pairs.length,
@@ -108,6 +124,58 @@ def export_batch(
         arrays=specs,
     )
     return segment, handle
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting tracker ownership.
+
+    Python >= 3.13 supports this directly (``track=False``).  Older Pythons
+    unconditionally register the attachment with the resource tracker; pool
+    workers (forkserver or spawn, see :mod:`repro.exec.executor`) inherit the
+    parent's tracker fd and its cache is a set, so the duplicate registration
+    *usually* dedups harmlessly — but a worker that ends up with its own
+    tracker would adopt ownership and unlink the segment at interpreter exit,
+    yanking it out from under its siblings.  The fallback therefore suppresses
+    the registration at the source, and — should the interpreter's attach path
+    not route through ``resource_tracker.register`` — explicitly unregisters
+    the duplicate, guarded so a registration that never happened cannot turn
+    into an error.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+
+    from multiprocessing import resource_tracker
+
+    intercepted: list[str] = []
+    original_register = resource_tracker.register
+
+    def _suppressing_register(target: str, rtype: str) -> None:
+        if rtype == "shared_memory":
+            intercepted.append(target)
+            return
+        original_register(target, rtype)
+
+    # setattr keeps the swap invisible to static analysis of the module's
+    # own attributes (assigning to a module function is a typed-API change).
+    setattr(resource_tracker, "register", _suppressing_register)
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    finally:
+        setattr(resource_tracker, "register", original_register)
+    if not intercepted:
+        # Registration escaped the patch (attach did not call register
+        # directly); drop this process's duplicate so only the exporter owns
+        # the segment.  Guarded: unregistering a name that was never tracked
+        # in this process must stay a no-op.
+        try:
+            resource_tracker.unregister(
+                getattr(segment, "_name", segment.name), "shared_memory"
+            )
+        except (KeyError, ValueError, OSError):
+            pass
+    return segment
 
 
 def attach_batch(
@@ -118,21 +186,9 @@ def attach_batch(
     The caller must drop every array referencing the batch before closing the
     returned segment (NumPy views pin the underlying buffer).
     """
-    try:
-        # Python >= 3.13: attachments can opt out of resource tracking —
-        # ownership stays with the exporter.
-        segment = shared_memory.SharedMemory(name=handle.name, track=False)
-    except TypeError:
-        # Older Pythons register the attachment too.  Pool workers (forkserver
-        # or spawn, see repro.exec.executor) inherit the parent's resource
-        # tracker through the fd multiprocessing passes them, and the tracker
-        # cache is a set — the duplicate registration is a no-op and the
-        # parent's unlink() unregisters exactly once, so nothing must be done
-        # (an explicit unregister here would instead remove the *parent's*
-        # registration and make its unlink complain).
-        segment = shared_memory.SharedMemory(name=handle.name)
+    segment = _attach_segment(handle.name)
 
-    def _view(key: str) -> np.ndarray:
+    def _view(key: str) -> NDArray[Any]:
         spec = handle.arrays[key]
         return np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
 

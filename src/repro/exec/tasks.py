@@ -18,8 +18,10 @@ shared memory, see :mod:`repro.exec.shared_batch`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..genomics.encoding import EncodedPairBatch
 from .shared_batch import SharedBatchHandle, attach_batch
@@ -36,18 +38,18 @@ class ShareOutcome:
     (a share whose pairs all die at stage ``k`` reports ``k + 1`` tuples).
     """
 
-    estimated_edits: np.ndarray
-    accepted: np.ndarray
-    undefined: np.ndarray
+    estimated_edits: NDArray[np.int32]
+    accepted: NDArray[np.bool_]
+    undefined: NDArray[np.bool_]
     stage_counts: "list[tuple[int, int]] | None" = None
 
 
-def _run_engine_share(engine, share: EncodedPairBatch) -> ShareOutcome:
+def _run_engine_share(engine: Any, share: EncodedPairBatch) -> ShareOutcome:
     estimates, accepted, undefined, _ = engine.filter_encoded_share(share)
     return ShareOutcome(estimates, accepted, undefined)
 
 
-def _run_cascade_share(cascade, share: EncodedPairBatch) -> ShareOutcome:
+def _run_cascade_share(cascade: Any, share: EncodedPairBatch) -> ShareOutcome:
     """All cascade stages over one share, survivors as local index selections."""
     n = share.n_pairs
     estimates = np.zeros(n, dtype=np.int32)
@@ -74,19 +76,21 @@ def _run_cascade_share(cascade, share: EncodedPairBatch) -> ShareOutcome:
 
 
 #: Runner registry: names cross the process boundary, functions do not.
-RUNNERS = {
+RUNNERS: dict[str, Callable[[Any, EncodedPairBatch], ShareOutcome]] = {
     "engine": _run_engine_share,
     "cascade": _run_cascade_share,
 }
 
 
-def run_share(runner: str, engine, pairs: EncodedPairBatch, share: slice) -> ShareOutcome:
+def run_share(
+    runner: str, engine: Any, pairs: EncodedPairBatch, share: slice
+) -> ShareOutcome:
     """Run one share in-process (serial and thread backends)."""
     return RUNNERS[runner](engine, pairs[share])
 
 
 def run_shared_share(
-    runner: str, engine, handle: SharedBatchHandle, share: slice
+    runner: str, engine: Any, handle: SharedBatchHandle, share: slice
 ) -> ShareOutcome:
     """Process-worker entry point: attach the shared segment, run one share.
 

@@ -257,3 +257,107 @@ class TestPoolLifecycle:
             create_executor("gpu", 2)
         with pytest.raises(ValueError, match="workers"):
             create_executor("threads", 0)
+
+
+class TestAttachTrackerFallback:
+    """The track=False-unsupported fallback must not adopt tracker ownership.
+
+    On interpreters without ``SharedMemory(track=...)`` (pre-3.13 — including
+    this one) a plain attach registers the segment with the resource tracker,
+    which would make the attaching process co-own a segment the exporter
+    already owns.  ``_attach_segment`` suppresses that registration; if the
+    interpreter's attach path bypasses ``resource_tracker.register``, it
+    explicitly unregisters the duplicate behind a guard.
+    """
+
+    def test_fallback_attach_registers_nothing(self, encoded, monkeypatch):
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.exec.shared_batch import _attach_segment, export_batch
+
+        real_shared_memory = shared_memory.SharedMemory
+
+        class _NoTrackSharedMemory(real_shared_memory):
+            """Pre-3.13 signature: the track keyword is unknown."""
+
+            def __init__(self, name=None, create=False, size=0, **kwargs):
+                if "track" in kwargs:
+                    raise TypeError(
+                        "__init__() got an unexpected keyword argument 'track'"
+                    )
+                super().__init__(name=name, create=create, size=size)
+
+        registered: list[tuple[str, str]] = []
+        unregistered: list[tuple[str, str]] = []
+        real_register = resource_tracker.register
+
+        def recording_register(target, rtype):
+            registered.append((target, rtype))
+            real_register(target, rtype)
+
+        segment, handle = export_batch(encoded, include_words=True)
+        try:
+            monkeypatch.setattr(
+                shared_memory, "SharedMemory", _NoTrackSharedMemory
+            )
+            monkeypatch.setattr(resource_tracker, "register", recording_register)
+            monkeypatch.setattr(
+                resource_tracker,
+                "unregister",
+                lambda target, rtype: unregistered.append((target, rtype)),
+            )
+            attached = _attach_segment(handle.name)
+            try:
+                view = np.ndarray(
+                    handle.arrays["read_codes"].shape,
+                    dtype=handle.arrays["read_codes"].dtype,
+                    buffer=attached.buf,
+                    offset=handle.arrays["read_codes"].offset,
+                )
+                np.testing.assert_array_equal(view, encoded.read_codes)
+                del view
+            finally:
+                attached.close()
+            # The attach neither registered the segment with this process's
+            # tracker nor needed the unregister escape hatch (the suppression
+            # intercepted the registration at the source).
+            assert registered == []
+            assert unregistered == []
+            # The register monkeypatch was restored after the attach.
+            assert resource_tracker.register is recording_register
+        finally:
+            monkeypatch.undo()
+            segment.close()
+            segment.unlink()
+
+    def test_unregister_guard_when_registration_escapes(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        from repro.exec import shared_batch
+
+        class _UntrackedFakeSegment:
+            """Attach path that never calls resource_tracker.register."""
+
+            def __init__(self, name=None, **kwargs):
+                if "track" in kwargs:
+                    raise TypeError(
+                        "__init__() got an unexpected keyword argument 'track'"
+                    )
+                self.name = name
+                self._name = "/" + name
+
+        unregistered: list[tuple[str, str]] = []
+
+        def raising_unregister(target, rtype):
+            unregistered.append((target, rtype))
+            raise KeyError(target)  # never registered here: must be swallowed
+
+        monkeypatch.setattr(
+            shared_batch.shared_memory, "SharedMemory", _UntrackedFakeSegment
+        )
+        monkeypatch.setattr(resource_tracker, "unregister", raising_unregister)
+        segment = shared_batch._attach_segment("repro-test-segment")
+        assert segment.name == "repro-test-segment"
+        # The escape hatch fired exactly once, with the registered spelling,
+        # and its KeyError did not propagate.
+        assert unregistered == [("/repro-test-segment", "shared_memory")]
