@@ -1,0 +1,198 @@
+"""Filter-as-a-service benchmark: warm daemon vs cold CLI, queue-depth sweep.
+
+Plain script (like ``bench_api_overhead.py``) so CI can run it without extra
+dependencies:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Two measurements:
+
+* **cold CLI vs warm daemon** — each cold sample spawns a fresh
+  ``repro run workload.toml`` subprocess (interpreter start + import + dataset
+  generation + engine construction, the per-invocation tax a resident daemon
+  amortises); each warm sample is one ``repro submit``-equivalent round trip
+  to a live in-process :class:`~repro.serve.ReproServer` whose session caches
+  are hot.  Every warm response is asserted byte-identical to the cold CLI
+  output before any timing is recorded.
+* **queue-depth sweep** — a burst of concurrent clients against
+  ``queue_depth`` in {1, 4, 16}: completions, ``queue_full`` rejections and
+  end-to-end throughput, showing the backpressure/throughput trade-off.
+
+``BENCH_serve.json`` records both, carrying the canonical ``schema_version``.
+Knobs: ``REPRO_BENCH_SERVE_PAIRS`` (default 5,000), ``REPRO_BENCH_SERVE_REPEATS``
+(default 3 cold / scaled warm), ``REPRO_BENCH_SERVE_CLIENTS`` (default 8).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import SCHEMA_VERSION  # noqa: E402
+from repro.serve import QueueFullError, ReproServer, ServeClient  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+N_PAIRS = int(os.environ.get("REPRO_BENCH_SERVE_PAIRS", "5000"))
+COLD_REPEATS = int(os.environ.get("REPRO_BENCH_SERVE_REPEATS", "3"))
+WARM_REPEATS = COLD_REPEATS * 5
+N_CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "8"))
+QUEUE_DEPTHS = (1, 4, 16)
+OUTPUT = Path(os.environ.get("REPRO_BENCH_SERVE_OUTPUT", "BENCH_serve.json"))
+
+WORKLOAD_TOML = f"""\
+[input]
+kind = "dataset"
+dataset = "Set 1"
+n_pairs = {N_PAIRS}
+seed = 42
+
+[filter]
+filter = "gatekeeper-gpu"
+error_threshold = 5
+
+[execution]
+mode = "memory"
+verify = false
+"""
+
+
+def cold_cli_run(workload_file: Path) -> "tuple[str, float]":
+    """One fresh ``repro run`` subprocess; returns (stdout, seconds)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "run", str(workload_file)],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout, time.perf_counter() - start
+
+
+def sweep_queue_depth(workload: dict, depth: int) -> dict:
+    """Burst N_CLIENTS concurrent submissions at a bounded-queue daemon."""
+    with ReproServer(port=0, workers=2, queue_depth=depth) as server:
+        ServeClient(port=server.port, timeout_s=600).run(workload)  # warm caches
+        completed = [0]
+        rejected = [0]
+        lock = threading.Lock()
+
+        def one_client(index: int) -> None:
+            client = ServeClient(
+                port=server.port, client_id=f"sweep-{index}", timeout_s=600
+            )
+            try:
+                _result, rejections = client.run_with_retry(
+                    workload, attempts=100, backoff_s=0.02
+                )
+            except QueueFullError:
+                with lock:
+                    rejected[0] += 100
+                return
+            with lock:
+                completed[0] += 1
+                rejected[0] += rejections
+
+        threads = [
+            threading.Thread(target=one_client, args=(i,)) for i in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    return {
+        "queue_depth": depth,
+        "clients": N_CLIENTS,
+        "completed": completed[0],
+        "queue_full_rejections": rejected[0],
+        "elapsed_s": round(elapsed, 6),
+        "runs_per_s": round(completed[0] / elapsed, 3),
+        "pairs_per_s": round(completed[0] * N_PAIRS / elapsed, 1),
+    }
+
+
+def main() -> int:
+    workload_file = REPO_ROOT / "benchmarks" / "_bench_serve_workload.toml"
+    workload_file.write_text(WORKLOAD_TOML)
+    try:
+        import tomllib
+
+        workload = tomllib.loads(WORKLOAD_TOML)
+
+        # -- cold CLI: fresh process per call -------------------------------
+        cold_outputs: list[str] = []
+        cold_times: list[float] = []
+        for _ in range(COLD_REPEATS):
+            output, seconds = cold_cli_run(workload_file)
+            cold_outputs.append(output)
+            cold_times.append(seconds)
+        if len(set(cold_outputs)) != 1:
+            raise SystemExit("cold CLI runs disagree — benchmark aborted")
+        expected = cold_outputs[0]
+
+        # -- warm daemon: resident session, hot caches ----------------------
+        with ReproServer(port=0, workers=1, queue_depth=8) as server:
+            client = ServeClient(port=server.port, timeout_s=600)
+            first = client.run_json(workload)  # populate the session caches
+            if first != expected:
+                raise SystemExit(
+                    "daemon response differs from cold CLI output — "
+                    "benchmark aborted"
+                )
+            warm_times: list[float] = []
+            for _ in range(WARM_REPEATS):
+                start = time.perf_counter()
+                got = client.run_json(workload)
+                warm_times.append(time.perf_counter() - start)
+                if got != expected:
+                    raise SystemExit(
+                        "daemon response drifted from cold CLI output — "
+                        "benchmark aborted"
+                    )
+
+        t_cold = sum(cold_times) / len(cold_times)
+        t_warm = sum(warm_times) / len(warm_times)
+
+        # -- queue-depth sweep ----------------------------------------------
+        sweep = [sweep_queue_depth(workload, depth) for depth in QUEUE_DEPTHS]
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "n_pairs": N_PAIRS,
+            "filter": "gatekeeper-gpu",
+            "cold_cli": {
+                "repeats": COLD_REPEATS,
+                "per_call_s": round(t_cold, 6),
+                "pairs_per_s": round(N_PAIRS / t_cold, 1),
+            },
+            "warm_daemon": {
+                "repeats": WARM_REPEATS,
+                "per_call_s": round(t_warm, 6),
+                "pairs_per_s": round(N_PAIRS / t_warm, 1),
+            },
+            "warm_over_cold_speedup": round(t_cold / t_warm, 3),
+            "byte_identical_to_cold_cli": True,
+            "queue_depth_sweep": sweep,
+        }
+        OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    finally:
+        workload_file.unlink(missing_ok=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

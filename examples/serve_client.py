@@ -1,0 +1,70 @@
+"""Filter-as-a-service: a resident daemon, a client, and backpressure.
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_client.py
+
+The example starts a :class:`repro.serve.ReproServer` on an ephemeral port
+(exactly what ``repro serve --port 0`` does), submits the bundled
+``examples/workload.toml`` through :class:`repro.serve.ServeClient`, shows
+that the response is byte-identical to a local ``repro run``, queries the
+daemon's per-client accounting, and demonstrates the ``queue_full``
+backpressure a bounded request queue produces under overload.
+
+In production the daemon would run in its own process::
+
+    repro serve --port 8765 --workers 2 --queue-depth 16 &
+    repro submit examples/workload.toml --port 8765
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.api import Session, Workload
+from repro.serve import QueueFullError, ReproServer, ServeClient
+
+WORKLOAD_FILE = Path(__file__).resolve().parent / "workload.toml"
+
+
+def main() -> None:
+    # 1. A resident daemon: one warm Session behind a bounded request queue.
+    with ReproServer(port=0, workers=2, queue_depth=4) as server:
+        print(f"daemon listening on 127.0.0.1:{server.port} "
+              f"(workers={server.workers}, queue_depth={server.queue_depth})")
+
+        # 2. Submit the example workload; the daemon executes it on its
+        #    resident session and ships back the canonical Result payload.
+        client = ServeClient(port=server.port, client_id="example")
+        via_daemon = client.run_json(WORKLOAD_FILE)
+
+        # 3. The response is byte-identical to running the workload locally.
+        local = Session().run(Workload.from_file(WORKLOAD_FILE)).to_json()
+        assert via_daemon == local, "daemon and local outputs differ"
+        summary = json.loads(via_daemon)["summary"]
+        print(f"daemon == local repro run: {summary['n_pairs']} pairs, "
+              f"{summary['n_accepted']} accepted")
+
+        # 4. Per-client accounting, served inline even under load.
+        status = client.status()
+        print("accounting for 'example':",
+              json.dumps(status["clients"]["example"], sort_keys=True))
+
+        # 5. Backpressure: a second submission is fine, but a daemon whose
+        #    queue is full answers queue_full instead of buffering unboundedly.
+        #    run_with_retry treats that as a retryable signal.
+        result, rejections = client.run_with_retry(WORKLOAD_FILE, attempts=5)
+        print(f"retry-aware submission completed after {rejections} rejections "
+              f"({result['summary']['n_accepted']} accepted)")
+        try:
+            client.run(WORKLOAD_FILE)
+        except QueueFullError as exc:  # only under genuine overload
+            print(f"backpressure: {exc.code}: retry with backoff")
+
+    # 6. Leaving the `with` block drains the queue and closes the session.
+    print("daemon drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ with open(_readme) as fh:
 
 setup(
     name="repro-gatekeeper-gpu",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "From-scratch Python reproduction of GateKeeper-GPU: fast and "
         "accurate pre-alignment filtering in short read mapping"
@@ -37,6 +37,8 @@ setup(
             "repro-map=repro.cli:map_main",
             "repro-experiment=repro.cli:experiment_main",
             "repro-stream=repro.cli:stream_main",
+            "repro-serve=repro.serve.cli:serve_main",
+            "repro-submit=repro.serve.cli:submit_main",
         ]
     },
     classifiers=[

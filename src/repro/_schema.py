@@ -105,6 +105,93 @@ STREAMING_KEYS = frozenset({
     OVERLAP_SPEEDUP,
 })
 
+# --------------------------------------------------------------------------- #
+# Serve protocol envelope (repro.serve request/response wire format)
+# --------------------------------------------------------------------------- #
+SCHEMA_VERSION_KEY = "schema_version"
+OP = "op"
+OK = "ok"
+ERROR = "error"
+ERROR_CODE = "code"
+ERROR_MESSAGE = "message"
+RESULT = "result"
+CLIENT = "client"
+WORKLOAD = "workload"
+STATUS = "status"
+# status payload / per-client accounting
+REQUESTS = "requests"
+COMPLETED = "completed"
+REJECTED = "rejected"
+FAILED = "failed"
+PAIRS_FILTERED = "pairs_filtered"
+RUN_TIME_S = "run_time_s"
+QUEUE_DEPTH = "queue_depth"
+QUEUED = "queued"
+IN_FLIGHT = "in_flight"
+WORKERS = "workers"
+DRAINING = "draining"
+UPTIME_S = "uptime_s"
+CLIENTS = "clients"
+TOTALS = "totals"
+
+#: Every key a serve request/response envelope (or its status payload) carries.
+SERVE_KEYS = frozenset({
+    SCHEMA_VERSION_KEY,
+    OP,
+    OK,
+    ERROR,
+    ERROR_CODE,
+    ERROR_MESSAGE,
+    RESULT,
+    CLIENT,
+    WORKLOAD,
+    STATUS,
+    REQUESTS,
+    COMPLETED,
+    REJECTED,
+    FAILED,
+    PAIRS_FILTERED,
+    RUN_TIME_S,
+    QUEUE_DEPTH,
+    QUEUED,
+    IN_FLIGHT,
+    WORKERS,
+    DRAINING,
+    UPTIME_S,
+    CLIENTS,
+    TOTALS,
+})
+
+#: Envelope spellings the ``result-schema-keys`` rule additionally refuses as
+#: string-literal dict keys inside ``repro.serve`` (on top of
+#: :data:`LINT_ENFORCED_KEYS`).  ``workload`` stays writable as a literal —
+#: it doubles as declarative workload-spec vocabulary.
+SERVE_ENFORCED_KEYS = frozenset({
+    SCHEMA_VERSION_KEY,
+    OP,
+    OK,
+    ERROR,
+    ERROR_CODE,
+    ERROR_MESSAGE,
+    RESULT,
+    CLIENT,
+    STATUS,
+    REQUESTS,
+    COMPLETED,
+    REJECTED,
+    FAILED,
+    PAIRS_FILTERED,
+    RUN_TIME_S,
+    QUEUE_DEPTH,
+    QUEUED,
+    IN_FLIGHT,
+    WORKERS,
+    DRAINING,
+    UPTIME_S,
+    CLIENTS,
+    TOTALS,
+})
+
 #: Spellings the ``result-schema-keys`` lint rule refuses as string-literal
 #: dictionary keys inside ``repro.api`` / ``repro.engine``.  Deliberately the
 #: *unambiguous* subset: keys that double as workload-spec field names
@@ -164,8 +251,34 @@ __all__ = [
     "SERIAL_TIME_S",
     "OVERLAPPED_TIME_S",
     "OVERLAP_SPEEDUP",
+    "SCHEMA_VERSION_KEY",
+    "OP",
+    "OK",
+    "ERROR",
+    "ERROR_CODE",
+    "ERROR_MESSAGE",
+    "RESULT",
+    "CLIENT",
+    "WORKLOAD",
+    "STATUS",
+    "REQUESTS",
+    "COMPLETED",
+    "REJECTED",
+    "FAILED",
+    "PAIRS_FILTERED",
+    "RUN_TIME_S",
+    "QUEUE_DEPTH",
+    "QUEUED",
+    "IN_FLIGHT",
+    "WORKERS",
+    "DRAINING",
+    "UPTIME_S",
+    "CLIENTS",
+    "TOTALS",
     "SUMMARY_KEYS",
     "STAGE_KEYS",
     "STREAMING_KEYS",
+    "SERVE_KEYS",
+    "SERVE_ENFORCED_KEYS",
     "LINT_ENFORCED_KEYS",
 ]

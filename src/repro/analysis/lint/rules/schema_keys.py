@@ -12,14 +12,19 @@ instead of a silent fork.
 Only the unambiguous subset (:data:`repro._schema.LINT_ENFORCED_KEYS`) is
 enforced — keys that double as workload-spec vocabulary (``n_pairs``,
 ``chunk_size``, ...) stay writable as plain literals in spec dictionaries.
+
+``repro.serve`` (the filter-as-a-service daemon) is covered too, with the
+wire-envelope vocabulary added on top: every response key it emits
+(``ok``/``error``/``result``/``status``/accounting fields —
+:data:`repro._schema.SERVE_ENFORCED_KEYS`) must come from ``repro._schema``.
 """
 
 from __future__ import annotations
 
 import ast
 
-from ...._schema import LINT_ENFORCED_KEYS
-from ..engine import Rule, Violation
+from ...._schema import LINT_ENFORCED_KEYS, SERVE_ENFORCED_KEYS
+from ..engine import Rule, Violation, module_path
 
 __all__ = ["ResultSchemaKeysRule"]
 
@@ -28,13 +33,26 @@ class ResultSchemaKeysRule(Rule):
     rule_id = "result-schema-keys"
     contract = (
         "canonical report keys are spelled via repro._schema constants in "
-        "repro.api / repro.engine, never as string literals"
+        "repro.api / repro.engine / repro.serve, never as string literals"
     )
 
     def applies_to(self, mpath: str) -> bool:
-        return mpath.startswith("repro/api/") or mpath.startswith("repro/engine/")
+        return (
+            mpath.startswith("repro/api/")
+            or mpath.startswith("repro/engine/")
+            or mpath.startswith("repro/serve/")
+        )
+
+    @staticmethod
+    def _enforced_for(path: str) -> "frozenset[str]":
+        # The serve package also embeds canonical Result dictionaries, so it
+        # answers for both vocabularies.
+        if module_path(path).startswith("repro/serve/"):
+            return LINT_ENFORCED_KEYS | SERVE_ENFORCED_KEYS
+        return LINT_ENFORCED_KEYS
 
     def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        enforced = self._enforced_for(path)
         findings: list[Violation] = []
         for node in ast.walk(tree):
             if isinstance(node, ast.Dict):
@@ -42,7 +60,7 @@ class ResultSchemaKeysRule(Rule):
                     if (
                         isinstance(key, ast.Constant)
                         and isinstance(key.value, str)
-                        and key.value in LINT_ENFORCED_KEYS
+                        and key.value in enforced
                     ):
                         findings.append(self._finding(key, key.value, path, node))
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -54,7 +72,7 @@ class ResultSchemaKeysRule(Rule):
                         isinstance(target, ast.Subscript)
                         and isinstance(target.slice, ast.Constant)
                         and isinstance(target.slice.value, str)
-                        and target.slice.value in LINT_ENFORCED_KEYS
+                        and target.slice.value in enforced
                     ):
                         findings.append(
                             self._finding(target.slice, target.slice.value, path, node)

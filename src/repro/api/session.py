@@ -12,10 +12,18 @@ Runs are pure with respect to the cached state: executing a workload never
 mutates an engine, a dataset or an index, so two workloads on one session
 produce byte-identical :class:`~repro.api.result.Result` JSON to two fresh
 sessions (locked down by ``tests/test_api_session.py``).
+
+The session is also **thread-safe**: cache construction is serialised behind
+one lock (concurrent first requests for the same engine/dataset build it
+once), while :meth:`run` itself takes no lock — runs are pure, so any number
+of worker threads may execute workloads concurrently on one resident
+session.  This is the contract the :mod:`repro.serve` daemon builds on,
+hammered by ``tests/test_serve_concurrency.py``.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
@@ -55,6 +63,9 @@ class Session:
         self._references: dict[str, Any] = {}
         self._indexes: dict[tuple[str, int], Any] = {}
         self._executors: dict[tuple[str, int], "Executor"] = {}
+        # Serialises cache construction only (runs are pure and unlocked);
+        # re-entrant because index_for builds through reference_for.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Cached construction
@@ -71,60 +82,67 @@ class Session:
             ex.encoding,
             ex.batch_size,
         )
-        engine = self._engines.get(key)
-        if engine is None:
-            from ..core.config import EncodingActor
-            from ..engine import FilterCascade, FilterEngine
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                from ..core.config import EncodingActor
+                from ..engine import FilterCascade, FilterEngine
 
-            engine_kwargs = dict(
-                read_length=int(read_length),
-                error_threshold=workload.filter.error_threshold,
-                setup=_setup_for(ex.setup),
-                n_devices=ex.n_devices,
-                encoding=EncodingActor(ex.encoding),
-                max_reads_per_batch=ex.batch_size,
-            )
-            if workload.filter.is_cascade:
-                engine = FilterCascade.from_names(
-                    list(workload.filter.filters), **engine_kwargs
+                engine_kwargs = dict(
+                    read_length=int(read_length),
+                    error_threshold=workload.filter.error_threshold,
+                    setup=_setup_for(ex.setup),
+                    n_devices=ex.n_devices,
+                    encoding=EncodingActor(ex.encoding),
+                    max_reads_per_batch=ex.batch_size,
                 )
-            else:
-                engine = FilterEngine(workload.filter.filters[0], **engine_kwargs)
-            self._engines[key] = engine
-        return engine
+                if workload.filter.is_cascade:
+                    engine = FilterCascade.from_names(
+                        list(workload.filter.filters), **engine_kwargs
+                    )
+                else:
+                    engine = FilterEngine(workload.filter.filters[0], **engine_kwargs)
+                self._engines[key] = engine
+            return engine
 
     def dataset_for(self, workload: Workload) -> Any:
         """The cached simulated :class:`PairDataset` for a ``dataset`` input."""
         spec = workload.input
         key = (spec.dataset, spec.n_pairs, spec.seed)
-        dataset = self._datasets.get(key)
-        if dataset is None:
-            from ..simulate.datasets import build_dataset
+        with self._lock:
+            dataset = self._datasets.get(key)
+            if dataset is None:
+                from ..simulate.datasets import build_dataset
 
-            dataset = build_dataset(str(spec.dataset), n_pairs=spec.n_pairs, seed=spec.seed)
-            self._datasets[key] = dataset
-        return dataset
+                dataset = build_dataset(
+                    str(spec.dataset), n_pairs=spec.n_pairs, seed=spec.seed
+                )
+                dataset.encoded()  # encode once, inside the lock, not per-run
+                self._datasets[key] = dataset
+            return dataset
 
     def reference_for(self, path: str) -> Any:
         """The cached :class:`ReferenceGenome` loaded from a FASTA path."""
-        reference = self._references.get(path)
-        if reference is None:
-            from ..runtime.sources import load_reference
+        with self._lock:
+            reference = self._references.get(path)
+            if reference is None:
+                from ..runtime.sources import load_reference
 
-            reference = load_reference(path)
-            self._references[path] = reference
-        return reference
+                reference = load_reference(path)
+                self._references[path] = reference
+            return reference
 
     def index_for(self, path: str, k: int) -> Any:
         """The cached seeding :class:`KmerIndex` over ``path``'s reference."""
         key = (path, int(k))
-        index = self._indexes.get(key)
-        if index is None:
-            from ..mapper.index import KmerIndex
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is None:
+                from ..mapper.index import KmerIndex
 
-            index = KmerIndex(self.reference_for(path), k=int(k))
-            self._indexes[key] = index
-        return index
+                index = KmerIndex(self.reference_for(path), k=int(k))
+                self._indexes[key] = index
+            return index
 
     def executor_for(self, workload: Workload) -> "Executor | None":
         """The cached execution backend for a workload's execution spec.
@@ -138,13 +156,14 @@ class Session:
         if ex.executor == "serial" and ex.workers <= 1:
             return None
         key = (ex.executor, ex.workers)
-        executor = self._executors.get(key)
-        if executor is None:
-            from ..exec import create_executor
+        with self._lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                from ..exec import create_executor
 
-            executor = create_executor(ex.executor, ex.workers)
-            self._executors[key] = executor
-        return executor
+                executor = create_executor(ex.executor, ex.workers)
+                self._executors[key] = executor
+            return executor
 
     def close(self) -> None:
         """Shut down every cached execution backend (pools, shared memory).
@@ -153,7 +172,8 @@ class Session:
         indexes) survive so the session remains usable — a subsequent
         parallel run simply builds a fresh pool.
         """
-        executors, self._executors = self._executors, {}
+        with self._lock:
+            executors, self._executors = self._executors, {}
         for executor in executors.values():
             executor.close()
 

@@ -6,7 +6,10 @@ Five commands are installed with the package:
     The front door: ``repro run workload.toml`` executes a declarative
     :class:`~repro.api.Workload` file and prints the canonical JSON
     :class:`~repro.api.Result`; ``repro filter|map|stream|experiment ...``
-    dispatch to the subcommands below.
+    dispatch to the subcommands below, and ``repro serve`` / ``repro submit``
+    run the resident filter-as-a-service daemon and its submission client
+    (:mod:`repro.serve`) — ``repro submit workload.toml`` prints JSON
+    byte-identical to ``repro run workload.toml``.
 ``repro-filter``
     Filter a simulated candidate-pair pool with any registered filter
     (``--filter``) or cascade (``--cascade``).
@@ -52,6 +55,8 @@ __all__ = [
     "experiment_main",
     "stream_main",
     "lint_main",
+    "serve_main",
+    "submit_main",
 ]
 
 
@@ -433,6 +438,23 @@ def lint_main(argv: Sequence[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro serve / repro submit
+# --------------------------------------------------------------------------- #
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Run the filter-as-a-service daemon (lazy import keeps startup lean)."""
+    from .serve.cli import serve_main as serve_cli_main
+
+    return serve_cli_main(argv)
+
+
+def submit_main(argv: Sequence[str] | None = None) -> int:
+    """Submit a workload to a live daemon (output byte-identical to `repro run`)."""
+    from .serve.cli import submit_main as submit_cli_main
+
+    return submit_cli_main(argv)
+
+
+# --------------------------------------------------------------------------- #
 # repro (dispatcher)
 # --------------------------------------------------------------------------- #
 _COMMANDS = {
@@ -442,6 +464,8 @@ _COMMANDS = {
     "stream": stream_main,
     "experiment": experiment_main,
     "lint": lint_main,
+    "serve": serve_main,
+    "submit": submit_main,
 }
 
 
@@ -449,13 +473,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """The ``repro`` umbrella command: dispatch to a subcommand."""
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {run,filter,map,stream,experiment,lint} ...\n\n"
+        "usage: repro {run,filter,map,stream,experiment,lint,serve,submit} ...\n\n"
         "  run         execute a declarative TOML/JSON workload file\n"
         "  filter      filter a simulated candidate-pair pool\n"
         "  map         run the mrFAST-like mapper on simulated reads\n"
         "  stream      stream real FASTQ/FASTA or pairs-TSV inputs\n"
         "  experiment  regenerate one of the paper's tables/figures\n"
         "  lint        check the tree against the repo's invariant rules\n"
+        "  serve       run the resident filter-as-a-service daemon\n"
+        "  submit      send a workload to a live daemon (same JSON as run)\n"
     )
     if not argv:
         print(usage, file=sys.stderr)

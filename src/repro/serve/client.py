@@ -1,0 +1,237 @@
+"""Client side of the filter-as-a-service protocol.
+
+:class:`ServeClient` speaks the newline-framed JSON envelope of
+:mod:`repro.serve.protocol` to a live ``repro serve`` daemon: one connection
+per exchange, typed errors raised as :class:`ServeError` subclasses keyed by
+the wire ``error.code`` (``queue_full`` becomes :class:`QueueFullError`, the
+retryable backpressure signal).  :meth:`ServeClient.run_json` returns the
+canonical report serialisation — byte-identical to a local
+``repro run workload.toml`` for the same workload.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from .. import _schema as K
+from ..api.workload import Workload
+from . import protocol as P
+
+__all__ = [
+    "ServeError",
+    "QueueFullError",
+    "ShuttingDownError",
+    "ServeClient",
+    "load_workload_mapping",
+]
+
+
+class ServeError(RuntimeError):
+    """A typed failure envelope from the daemon (or a transport failure)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class QueueFullError(ServeError):
+    """Backpressure: the daemon's bounded request queue is full; retryable."""
+
+
+class ShuttingDownError(ServeError):
+    """The daemon is draining and no longer accepts workloads."""
+
+
+_ERROR_TYPES: "dict[str, type[ServeError]]" = {
+    P.ERR_QUEUE_FULL: QueueFullError,
+    P.ERR_SHUTTING_DOWN: ShuttingDownError,
+}
+
+
+def _error_from_envelope(envelope: "Mapping[str, Any]") -> ServeError:
+    error = envelope.get(K.ERROR)
+    if not isinstance(error, dict):
+        return ServeError(
+            P.ERR_BAD_JSON, f"malformed error envelope: {envelope!r}"
+        )
+    code = str(error.get(K.ERROR_CODE, P.ERR_INTERNAL))
+    message = str(error.get(K.ERROR_MESSAGE, ""))
+    return _ERROR_TYPES.get(code, ServeError)(code, message)
+
+
+def load_workload_mapping(path: "str | Path") -> "dict[str, Any]":
+    """Parse a ``.toml`` / ``.json`` workload file to the raw mapping.
+
+    ``repro submit`` sends exactly what ``repro run`` would feed to
+    :meth:`Workload.from_dict`, so the daemon executes the byte-identical
+    workload.  The mapping is validated locally first (catching bad files
+    before they travel).
+    """
+    import tomllib
+
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if not path.exists():
+        raise ValueError(f"{path}: workload file not found")
+    if suffix == ".toml":
+        try:
+            data: Any = tomllib.loads(path.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"{path}: invalid TOML: {exc}") from exc
+    elif suffix == ".json":
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid JSON: {exc}") from exc
+    else:
+        raise ValueError(
+            f"{path}: unrecognised workload suffix {suffix!r} "
+            "(expected .toml or .json)"
+        )
+    Workload.from_dict(data)  # local validation: fail fast with field names
+    if not isinstance(data, dict):  # pragma: no cover - from_dict already raised
+        raise ValueError(f"{path}: expected a table/object")
+    return data
+
+
+class ServeClient:
+    """Submit workloads to (and query) a live ``repro serve`` daemon.
+
+    Parameters
+    ----------
+    host / port:
+        The daemon's listen address.
+    client_id:
+        Label carried on every request for the daemon's per-client
+        accounting (``status`` reports it back).
+    timeout_s:
+        Socket timeout for connect/send/receive; a hung daemon surfaces as a
+        typed ``timeout`` :class:`ServeError`, never a hung client.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        client_id: "str | None" = None,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.client_id = client_id
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _roundtrip(self, request: "dict[str, Any]") -> "dict[str, Any]":
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            ) as conn:
+                conn.settimeout(self.timeout_s)
+                conn.sendall(P.encode_frame(request))
+                frame = P.read_frame(conn, max_bytes=1 << 30)
+        except P.ProtocolError as exc:
+            raise ServeError(exc.code, exc.message) from exc
+        except TimeoutError as exc:
+            raise ServeError(
+                P.ERR_TIMEOUT, f"no response from {self.host}:{self.port}: {exc}"
+            ) from exc
+        except OSError as exc:
+            raise ServeError(
+                P.ERR_CONNECTION_CLOSED,
+                f"cannot reach {self.host}:{self.port}: {exc}",
+            ) from exc
+        if frame is None:
+            raise ServeError(
+                P.ERR_CONNECTION_CLOSED,
+                f"{self.host}:{self.port} closed the connection without responding",
+            )
+        envelope = P.decode_frame(frame)
+        if not isinstance(envelope, dict) or K.OK not in envelope:
+            raise ServeError(
+                P.ERR_BAD_JSON, f"malformed response envelope: {envelope!r}"
+            )
+        if not envelope[K.OK]:
+            raise _error_from_envelope(envelope)
+        return envelope
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def run(
+        self, workload: "Mapping[str, Any] | Workload | str | Path"
+    ) -> "dict[str, Any]":
+        """Execute one workload on the daemon; returns the Result dictionary.
+
+        ``workload`` may be a raw workload mapping, a constructed
+        :class:`Workload`, or a path to a ``.toml`` / ``.json`` file.
+        """
+        if isinstance(workload, Workload):
+            payload = workload.to_dict()
+        elif isinstance(workload, (str, Path)):
+            payload = load_workload_mapping(workload)
+        else:
+            payload = dict(workload)
+        envelope = self._roundtrip(
+            P.request_envelope("run", workload=payload, client=self.client_id)
+        )
+        result = envelope.get(K.RESULT)
+        if not isinstance(result, dict):
+            raise ServeError(
+                P.ERR_BAD_JSON, f"run response carries no result: {envelope!r}"
+            )
+        return result
+
+    def run_json(
+        self, workload: "Mapping[str, Any] | Workload | str | Path"
+    ) -> str:
+        """Like :meth:`run`, serialised byte-identically to ``repro run``."""
+        return P.canonical_result_json(self.run(workload))
+
+    def run_with_retry(
+        self,
+        workload: "Mapping[str, Any] | Workload | str | Path",
+        attempts: int = 10,
+        backoff_s: float = 0.05,
+    ) -> "tuple[dict[str, Any], int]":
+        """Run with bounded retries on ``queue_full`` backpressure.
+
+        Returns ``(result, rejections)`` — how many times the daemon pushed
+        back before accepting.  Raises :class:`QueueFullError` once
+        ``attempts`` submissions have all been rejected.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        rejections = 0
+        while True:
+            try:
+                return self.run(workload), rejections
+            except QueueFullError:
+                rejections += 1
+                if rejections >= attempts:
+                    raise
+                time.sleep(backoff_s * min(rejections, 8))
+
+    def status(self) -> "dict[str, Any]":
+        """The daemon's accounting payload (queue occupancy, per-client totals)."""
+        envelope = self._roundtrip(
+            P.request_envelope("status", client=self.client_id)
+        )
+        status = envelope.get(K.STATUS)
+        if not isinstance(status, dict):
+            raise ServeError(
+                P.ERR_BAD_JSON, f"status response carries no payload: {envelope!r}"
+            )
+        return status
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the daemon answers."""
+        envelope = self._roundtrip(P.request_envelope("ping", client=self.client_id))
+        return bool(envelope[K.OK])

@@ -1,0 +1,331 @@
+"""Wire protocol of the filter-as-a-service daemon.
+
+One request/response exchange per TCP connection, framed as a single
+newline-terminated UTF-8 JSON object in each direction.  Every envelope —
+request, success response, error response — is stamped with the canonical
+``schema_version`` (the same version as the :class:`repro.api.Result` schema
+the responses embed), and every failure is a *typed* error payload::
+
+    {"schema_version": 1, "ok": false,
+     "error": {"code": "queue_full", "message": "..."}}
+
+so clients dispatch on ``error.code`` (machine-readable, closed vocabulary:
+:data:`ERROR_CODES`) and humans read ``error.message`` (which names the
+offending field, mirroring the :class:`~repro.api.Workload` validation
+errors).  Three request operations exist:
+
+``run``
+    Execute a declarative workload dictionary on the server's resident
+    :class:`~repro.api.Session`; the response carries the canonical
+    :meth:`Result.as_dict` payload, re-serialisable to JSON byte-identical
+    to a local ``repro run`` via :func:`canonical_result_json`.
+``status``
+    Per-client accounting and queue occupancy (answered inline, never
+    queued, so it works while the request queue is full or draining).
+``ping``
+    Liveness probe.
+
+All key spellings come from :mod:`repro._schema` (the ``result-schema-keys``
+lint rule enforces this for the whole ``repro.serve`` package).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .. import _schema as K
+from ..api.result import SCHEMA_VERSION
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "OPS",
+    "REQUEST_FIELDS",
+    "ERR_BAD_JSON",
+    "ERR_BAD_REQUEST",
+    "ERR_BAD_WORKLOAD",
+    "ERR_PAYLOAD_TOO_LARGE",
+    "ERR_TRUNCATED_FRAME",
+    "ERR_TIMEOUT",
+    "ERR_UNSUPPORTED_SCHEMA_VERSION",
+    "ERR_QUEUE_FULL",
+    "ERR_SHUTTING_DOWN",
+    "ERR_INTERNAL",
+    "ERR_CONNECTION_CLOSED",
+    "ERROR_CODES",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "request_envelope",
+    "error_envelope",
+    "run_envelope",
+    "status_envelope",
+    "ping_envelope",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "canonical_result_json",
+]
+
+#: Version of the request/response envelope; locked to the Result schema the
+#: ``run`` responses embed, so one version number governs the whole wire.
+PROTOCOL_VERSION = SCHEMA_VERSION
+
+#: Default per-request frame-size ceiling (workload dictionaries are tiny; a
+#: frame this large is a protocol violation, not a big job).
+DEFAULT_MAX_REQUEST_BYTES = 1024 * 1024
+
+#: Operations a request may name.
+OPS = ("run", "status", "ping")
+
+#: Top-level fields a request envelope may carry.
+REQUEST_FIELDS = (K.SCHEMA_VERSION_KEY, K.OP, K.WORKLOAD, K.CLIENT)
+
+#: Client label used when a request does not name one.
+ANONYMOUS_CLIENT = "anonymous"
+
+# --------------------------------------------------------------------------- #
+# Typed error codes (the closed vocabulary of ``error.code``)
+# --------------------------------------------------------------------------- #
+ERR_BAD_JSON = "bad_json"
+ERR_BAD_REQUEST = "bad_request"
+ERR_BAD_WORKLOAD = "bad_workload"
+ERR_PAYLOAD_TOO_LARGE = "payload_too_large"
+ERR_TRUNCATED_FRAME = "truncated_frame"
+ERR_TIMEOUT = "timeout"
+ERR_UNSUPPORTED_SCHEMA_VERSION = "unsupported_schema_version"
+ERR_QUEUE_FULL = "queue_full"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_INTERNAL = "internal_error"
+#: Client-side only: the server went away without writing a response frame.
+ERR_CONNECTION_CLOSED = "connection_closed"
+
+ERROR_CODES = frozenset({
+    ERR_BAD_JSON,
+    ERR_BAD_REQUEST,
+    ERR_BAD_WORKLOAD,
+    ERR_PAYLOAD_TOO_LARGE,
+    ERR_TRUNCATED_FRAME,
+    ERR_TIMEOUT,
+    ERR_UNSUPPORTED_SCHEMA_VERSION,
+    ERR_QUEUE_FULL,
+    ERR_SHUTTING_DOWN,
+    ERR_INTERNAL,
+    ERR_CONNECTION_CLOSED,
+})
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be executed, carrying its typed wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, validated request envelope."""
+
+    op: str
+    client: str
+    workload: "dict[str, Any] | None" = None
+
+
+def parse_request(obj: Any) -> Request:
+    """Validate a decoded request envelope, raising typed :class:`ProtocolError`.
+
+    Error messages name the offending field (``request.op: ...``), mirroring
+    the ``workload.<section>.<field>`` convention of
+    :meth:`repro.api.Workload.from_dict`.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"request: expected a JSON object, got {type(obj).__name__}",
+        )
+    unknown = set(obj) - set(REQUEST_FIELDS)
+    if unknown:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"request: unknown field(s) {sorted(unknown)} "
+            f"(expected one of {sorted(REQUEST_FIELDS)})",
+        )
+    if K.SCHEMA_VERSION_KEY not in obj:
+        raise ProtocolError(
+            ERR_UNSUPPORTED_SCHEMA_VERSION,
+            f"request.schema_version: field is required "
+            f"(this server speaks version {PROTOCOL_VERSION})",
+        )
+    version = obj[K.SCHEMA_VERSION_KEY]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ERR_UNSUPPORTED_SCHEMA_VERSION,
+            f"request.schema_version: unsupported version {version!r} "
+            f"(this server speaks version {PROTOCOL_VERSION})",
+        )
+    op = obj.get(K.OP)
+    if op not in OPS:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"request.op: unknown op {op!r} (expected one of {list(OPS)})",
+        )
+    client = obj.get(K.CLIENT, ANONYMOUS_CLIENT)
+    if not isinstance(client, str) or not client:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"request.client: expected a non-empty string, got {client!r}",
+        )
+    workload = obj.get(K.WORKLOAD)
+    if op == "run":
+        if workload is None:
+            raise ProtocolError(
+                ERR_BAD_REQUEST, "request.workload: required for op 'run'"
+            )
+        if not isinstance(workload, dict):
+            raise ProtocolError(
+                ERR_BAD_REQUEST,
+                f"request.workload: expected a JSON object, "
+                f"got {type(workload).__name__}",
+            )
+    elif workload is not None:
+        raise ProtocolError(
+            ERR_BAD_REQUEST,
+            f"request.workload: only valid for op 'run' (op is {op!r})",
+        )
+    return Request(op=str(op), client=client, workload=workload)
+
+
+# --------------------------------------------------------------------------- #
+# Envelope builders
+# --------------------------------------------------------------------------- #
+def request_envelope(
+    op: str,
+    workload: "Mapping[str, Any] | None" = None,
+    client: "str | None" = None,
+) -> "dict[str, Any]":
+    """A request envelope ready for :func:`encode_frame` (used by the client)."""
+    envelope: dict[str, Any] = {K.SCHEMA_VERSION_KEY: PROTOCOL_VERSION, K.OP: op}
+    if workload is not None:
+        envelope[K.WORKLOAD] = dict(workload)
+    if client is not None:
+        envelope[K.CLIENT] = client
+    return envelope
+
+
+def error_envelope(code: str, message: str) -> "dict[str, Any]":
+    """A typed failure response naming the problem."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown protocol error code {code!r}")
+    return {
+        K.SCHEMA_VERSION_KEY: PROTOCOL_VERSION,
+        K.OK: False,
+        K.ERROR: {K.ERROR_CODE: code, K.ERROR_MESSAGE: message},
+    }
+
+
+def run_envelope(result: "Mapping[str, Any]") -> "dict[str, Any]":
+    """A successful ``run`` response embedding a canonical Result dictionary."""
+    return {
+        K.SCHEMA_VERSION_KEY: PROTOCOL_VERSION,
+        K.OK: True,
+        K.OP: "run",
+        K.RESULT: dict(result),
+    }
+
+
+def status_envelope(status: "Mapping[str, Any]") -> "dict[str, Any]":
+    """A successful ``status`` response embedding the accounting payload."""
+    return {
+        K.SCHEMA_VERSION_KEY: PROTOCOL_VERSION,
+        K.OK: True,
+        K.OP: "status",
+        K.STATUS: dict(status),
+    }
+
+
+def ping_envelope() -> "dict[str, Any]":
+    """A successful ``ping`` response."""
+    return {K.SCHEMA_VERSION_KEY: PROTOCOL_VERSION, K.OK: True, K.OP: "ping"}
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def encode_frame(obj: "Mapping[str, Any]") -> bytes:
+    """Serialise one envelope as a compact newline-terminated JSON frame."""
+    return (
+        json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+    )
+
+
+def decode_frame(data: bytes) -> Any:
+    """Parse one frame's bytes, raising a typed error for malformed JSON."""
+    try:
+        return json.loads(data.decode("utf-8", errors="replace"))
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(ERR_BAD_JSON, f"invalid JSON frame: {exc}") from exc
+
+
+def read_frame(
+    sock: socket.socket, max_bytes: int = DEFAULT_MAX_REQUEST_BYTES
+) -> "bytes | None":
+    """Read one newline-terminated frame from a socket.
+
+    Returns ``None`` when the peer closes the connection without sending
+    anything; raises a typed :class:`ProtocolError` for a frame truncated by
+    EOF (``truncated_frame``), a frame exceeding ``max_bytes``
+    (``payload_too_large``) or a socket timeout (``timeout``).
+    """
+    buffer = bytearray()
+    while True:
+        newline = buffer.find(b"\n")
+        if newline >= 0:
+            if newline > max_bytes:
+                raise ProtocolError(
+                    ERR_PAYLOAD_TOO_LARGE,
+                    f"frame of {newline} bytes exceeds the {max_bytes}-byte "
+                    "request ceiling",
+                )
+            return bytes(buffer[:newline])
+        if len(buffer) > max_bytes:
+            raise ProtocolError(
+                ERR_PAYLOAD_TOO_LARGE,
+                f"frame exceeds the {max_bytes}-byte request ceiling "
+                "before its terminating newline",
+            )
+        try:
+            chunk = sock.recv(65536)
+        except TimeoutError as exc:
+            raise ProtocolError(
+                ERR_TIMEOUT,
+                f"timed out waiting for a complete frame "
+                f"({len(buffer)} bytes received, no terminating newline)",
+            ) from exc
+        if not chunk:
+            if not buffer:
+                return None
+            raise ProtocolError(
+                ERR_TRUNCATED_FRAME,
+                f"connection closed mid-frame after {len(buffer)} bytes "
+                "(frames are newline-terminated JSON objects)",
+            )
+        buffer += chunk
+
+
+def canonical_result_json(result: "Mapping[str, Any]") -> str:
+    """Serialise a transported Result dictionary exactly like ``repro run``.
+
+    This is the same formatting contract as :meth:`repro.api.Result.to_json`
+    (2-space indent, sorted keys, trailing newline); JSON round-trips floats
+    exactly, so a daemon response printed through this function is
+    byte-identical to the local ``repro run`` output for the same workload
+    (locked down by ``tests/test_serve_concurrency.py``).
+    """
+    return json.dumps(dict(result), indent=2, sort_keys=True) + "\n"

@@ -209,7 +209,10 @@ class TestDispatcher:
 
     def test_no_args_prints_usage_to_stderr(self, capsys):
         assert main([]) == 2
-        assert "repro {run,filter,map,stream,experiment,lint}" in capsys.readouterr().err
+        assert (
+            "repro {run,filter,map,stream,experiment,lint,serve,submit}"
+            in capsys.readouterr().err
+        )
 
     def test_help_exits_zero(self, capsys):
         assert main(["--help"]) == 0

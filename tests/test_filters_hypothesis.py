@@ -1,0 +1,157 @@
+"""Property-based differential tests: packed kernels vs per-base references.
+
+Hypothesis drives random sequences, lengths and thresholds through the packed
+``uint64`` lane kernels (:mod:`repro.filters.packed`, the GateKeeper word
+kernel) and asserts bit-for-bit agreement with the per-base reference
+implementations in :mod:`repro.filters.bitvector` / :mod:`repro.filters.masks`,
+and through every registered filter's ``estimate_edits_batch`` against its
+per-pair scalar path.  Runs are derandomised (fixed example corpus) so the
+tier-1 suite stays deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.kernel import run_gatekeeper_kernel
+from repro.engine import available_filters, get_filter
+from repro.filters import packed
+from repro.filters.bitvector import amend_mask, count_set_windows
+from repro.filters.masks import EdgePolicy, build_mask_set
+from repro.filters.shouji import neighborhood_map_batch
+from repro.genomics.encoding import pack_codes_to_words
+
+#: Deterministic, time-bounded profile for the tier-1 suite: fixed example
+#: corpus (derandomize), no per-example deadline (cold numpy warms up slowly).
+COMMON = dict(deadline=None, derandomize=True)
+
+MAX_LENGTH = 96
+MAX_PAIRS = 12
+
+
+@st.composite
+def pair_batches(draw):
+    """Correlated read/reference code batches (reads mostly equal their refs)."""
+    length = draw(st.integers(min_value=1, max_value=MAX_LENGTH))
+    n_pairs = draw(st.integers(min_value=1, max_value=MAX_PAIRS))
+    shape = (n_pairs, length)
+    codes = st.integers(min_value=0, max_value=3)
+    ref = draw(hnp.arrays(np.uint8, shape, elements=codes))
+    substitute = draw(hnp.arrays(np.uint8, shape, elements=codes))
+    flips = draw(hnp.arrays(np.bool_, shape))
+    read = np.where(flips, substitute, ref).astype(np.uint8)
+    return read, ref
+
+
+@st.composite
+def bit_masks(draw):
+    """Random 0/1 mask batches of arbitrary width."""
+    length = draw(st.integers(min_value=1, max_value=MAX_LENGTH))
+    n_rows = draw(st.integers(min_value=1, max_value=MAX_PAIRS))
+    return draw(
+        hnp.arrays(
+            np.uint8, (n_rows, length), elements=st.integers(min_value=0, max_value=1)
+        )
+    )
+
+
+class TestPackedPrimitiveProperties:
+    @settings(max_examples=25, **COMMON)
+    @given(mask=bit_masks(), max_zero_run=st.integers(min_value=1, max_value=2))
+    def test_amend_lanes_matches_reference(self, mask, max_zero_run):
+        length = mask.shape[1]
+        lanes = packed.pack_lanes(mask)
+        valid = packed.lane_span_mask(0, length, lanes.shape[-1])
+        got = packed.unpack_lanes(
+            packed.amend_lanes(lanes, valid, max_zero_run=max_zero_run), length
+        )
+        expect = np.stack([amend_mask(m, max_zero_run=max_zero_run) for m in mask])
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=25, **COMMON)
+    @given(mask=bit_masks(), window=st.integers(min_value=1, max_value=8))
+    def test_count_lane_windows_matches_reference(self, mask, window):
+        length = mask.shape[1]
+        lanes = packed.pack_lanes(mask)
+        got = packed.count_lane_windows(lanes, length, window=window)
+        expect = np.array([count_set_windows(m, window=window) for m in mask])
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=25, **COMMON)
+    @given(batch=pair_batches(), threshold=st.integers(min_value=0, max_value=6))
+    def test_neighborhood_lanes_match_per_base_map(self, batch, threshold):
+        read, ref = batch
+        length = read.shape[1]
+        lanes = packed.neighborhood_lanes(
+            pack_codes_to_words(read, 64), pack_codes_to_words(ref, 64),
+            length, threshold,
+        )
+        got = packed.unpack_lanes(lanes, length)
+        expect = neighborhood_map_batch(read, ref, threshold)
+        assert np.array_equal(got, expect)
+
+
+class TestGateKeeperKernelProperties:
+    @settings(max_examples=20, **COMMON)
+    @given(
+        batch=pair_batches(),
+        threshold=st.integers(min_value=0, max_value=6),
+        edge_policy=st.sampled_from([EdgePolicy.ZERO, EdgePolicy.ONE]),
+    )
+    def test_kernel_matches_scalar_mask_pipeline(self, batch, threshold, edge_policy):
+        read, ref = batch
+        length = read.shape[1]
+        output = run_gatekeeper_kernel(
+            pack_codes_to_words(read, 64), pack_codes_to_words(ref, 64),
+            length=length, error_threshold=threshold, edge_policy=edge_policy,
+        )
+        expect = np.array(
+            [
+                count_set_windows(
+                    build_mask_set(
+                        read[i], ref[i], threshold, edge_policy=edge_policy
+                    ).final(),
+                    window=4,
+                )
+                for i in range(read.shape[0])
+            ],
+            dtype=np.int32,
+        )
+        assert np.array_equal(output.estimated_edits, expect)
+
+
+class TestFilterEstimateProperties:
+    @pytest.mark.parametrize("key", available_filters())
+    @settings(max_examples=15, **COMMON)
+    @given(batch=pair_batches(), threshold=st.integers(min_value=0, max_value=6))
+    def test_batch_estimates_match_scalar(self, key, batch, threshold):
+        read, ref = batch
+        instance = get_filter(key, threshold)
+        batch_edits = instance.estimate_edits_batch(read, ref)
+        scalar = np.array(
+            [
+                instance.estimate_edits_codes(read[i], ref[i])
+                for i in range(read.shape[0])
+            ],
+            dtype=np.int32,
+        )
+        assert np.array_equal(batch_edits, scalar)
+
+    @pytest.mark.parametrize("key", available_filters())
+    @settings(max_examples=15, **COMMON)
+    @given(batch=pair_batches(), threshold=st.integers(min_value=0, max_value=6))
+    def test_packed_word_path_matches_batch(self, key, batch, threshold):
+        instance = get_filter(key, threshold)
+        packed_kernel = getattr(instance, "estimate_edits_words", None)
+        if not callable(packed_kernel):
+            pytest.skip(f"{key} runs through the engine's word kernel instead")
+        read, ref = batch
+        length = read.shape[1]
+        got = packed_kernel(
+            pack_codes_to_words(read, 64), pack_codes_to_words(ref, 64), length
+        )
+        assert np.array_equal(got, instance.estimate_edits_batch(read, ref))

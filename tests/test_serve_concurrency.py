@@ -1,0 +1,209 @@
+"""Concurrency invariance of the ``repro serve`` daemon.
+
+Many client threads hammer one live daemon with a mixed workload matrix (all
+six filters, a cascade, memory and streaming modes, a threaded backend).
+Every response must be byte-identical to a serial :meth:`Session.run` of the
+same workload; the per-client accounting must sum consistently; a
+``--queue-depth 1`` daemon under overload must answer a clean ``queue_full``
+— never a hung client, never a corrupted response.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import _schema as K
+from repro.api import Session, Workload
+from repro.serve import QueueFullError, ReproServer, ServeClient
+from repro.serve import protocol as P
+
+
+def _workload(filters, *, mode="memory", n_pairs=200, seed=3, **execution):
+    spec = {
+        "input": {"kind": "dataset", "dataset": "Set 1",
+                  "n_pairs": n_pairs, "seed": seed},
+        "filter": {"error_threshold": 5},
+        "execution": {"mode": mode, "verify": False, **execution},
+    }
+    if isinstance(filters, str):
+        spec["filter"]["filter"] = filters
+    else:
+        spec["filter"]["cascade"] = list(filters)
+    return spec
+
+
+#: The mixed matrix: every filter, a cascade, both modes, a threaded backend.
+MATRIX = [
+    _workload("gatekeeper"),
+    _workload("gatekeeper-gpu", n_pairs=250, seed=5),
+    _workload("shd"),
+    _workload("shouji", n_pairs=150, seed=11),
+    _workload("sneakysnake"),
+    _workload("magnet", n_pairs=100, seed=7),
+    _workload(["shd", "sneakysnake"], n_pairs=150),
+    _workload("shd", mode="streaming", chunk_size=64),
+    _workload("sneakysnake", mode="streaming", n_pairs=250, chunk_size=128),
+    _workload("gatekeeper", executor="threads", workers=2),
+]
+
+N_CLIENTS = 8
+RUNS_PER_CLIENT = 5
+
+
+@pytest.fixture(scope="module")
+def expected():
+    """Serial ground truth: one local session, one run per matrix entry."""
+    with Session() as session:
+        return [
+            session.run(Workload.from_dict(spec)).to_json() for spec in MATRIX
+        ]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(port=0, workers=2, queue_depth=32) as live:
+        yield live
+
+
+class TestConcurrentByteIdentity:
+    def test_hammered_daemon_matches_serial_session(self, server, expected):
+        failures: list[str] = []
+        totals_lock = threading.Lock()
+        completed_runs: list[int] = []
+
+        def client_thread(index: int) -> None:
+            rng = random.Random(1000 + index)
+            client = ServeClient(
+                port=server.port, client_id=f"client-{index}", timeout_s=300
+            )
+            order = [rng.randrange(len(MATRIX)) for _ in range(RUNS_PER_CLIENT)]
+            for pick in order:
+                try:
+                    result, _rejections = client.run_with_retry(
+                        MATRIX[pick], attempts=50, backoff_s=0.02
+                    )
+                except Exception as exc:  # noqa: BLE001 - collected for report
+                    with totals_lock:
+                        failures.append(f"client-{index} workload {pick}: {exc!r}")
+                    continue
+                got = P.canonical_result_json(result)
+                if got != expected[pick]:
+                    with totals_lock:
+                        failures.append(
+                            f"client-{index} workload {pick}: response differs "
+                            "from serial Session.run"
+                        )
+                with totals_lock:
+                    completed_runs.append(pick)
+
+        threads = [
+            threading.Thread(target=client_thread, args=(i,))
+            for i in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        assert not any(t.is_alive() for t in threads), "a client thread hung"
+        assert not failures, "\n".join(failures)
+        assert len(completed_runs) == N_CLIENTS * RUNS_PER_CLIENT
+
+        status = ServeClient(port=server.port, timeout_s=30).status()
+        totals = status[K.TOTALS]
+        clients = status[K.CLIENTS]
+        assert set(clients) >= {f"client-{i}" for i in range(N_CLIENTS)}
+        # per-client rows sum exactly to the totals row
+        for field in (K.REQUESTS, K.COMPLETED, K.REJECTED, K.FAILED,
+                      K.PAIRS_FILTERED):
+            assert totals[field] == sum(row[field] for row in clients.values())
+        # every request is accounted for: completed + rejected + failed
+        assert totals[K.REQUESTS] == (
+            totals[K.COMPLETED] + totals[K.REJECTED] + totals[K.FAILED]
+        )
+        assert totals[K.FAILED] == 0
+        assert totals[K.COMPLETED] == N_CLIENTS * RUNS_PER_CLIENT
+        # pairs_filtered is the sum of n_pairs over completed runs
+        expected_pairs = sum(
+            MATRIX[pick]["input"]["n_pairs"] for pick in completed_runs
+        )
+        assert totals[K.PAIRS_FILTERED] == expected_pairs
+        assert totals[K.RUN_TIME_S] > 0
+
+
+class _GatedSession(Session):
+    """Runs block until released; gives the overload test a held worker."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.release = threading.Event()
+        self.entered = threading.Semaphore(0)
+
+    def run(self, workload):
+        self.entered.release()
+        assert self.release.wait(timeout=60), "gated run was never released"
+        return super().run(workload)
+
+
+class TestQueueFullBackpressure:
+    def test_overload_rejects_cleanly_and_survivors_stay_correct(self):
+        spec = _workload("shd")
+        expected = Session().run(Workload.from_dict(spec)).to_json()
+
+        session = _GatedSession()
+        server = ReproServer(
+            port=0, workers=1, queue_depth=1, session=session
+        ).start()
+        try:
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def occupant() -> None:
+                client = ServeClient(port=server.port, client_id="occupant",
+                                     timeout_s=120)
+                got = client.run_json(spec)
+                with lock:
+                    outcomes.append(got)
+
+            # First occupies the single worker, second fills the single
+            # queue slot; both will complete once the gate opens.
+            first = threading.Thread(target=occupant)
+            first.start()
+            assert session.entered.acquire(timeout=30)
+            second = threading.Thread(target=occupant)
+            second.start()
+
+            # wait until the daemon reports the queue slot taken
+            probe = ServeClient(port=server.port, client_id="probe", timeout_s=30)
+            deadline = 200
+            while probe.status()[K.QUEUED] < 1 and deadline:
+                deadline -= 1
+                threading.Event().wait(0.01)
+            assert probe.status()[K.QUEUED] >= 1, "queue slot never filled"
+
+            # the burst: every further submission is a clean queue_full
+            burst = ServeClient(port=server.port, client_id="burst", timeout_s=30)
+            rejections = 0
+            for _ in range(6):
+                with pytest.raises(QueueFullError):
+                    burst.run(spec)
+                rejections += 1
+            assert rejections == 6
+
+            # status keeps answering under overload and records the pushback
+            status = probe.status()
+            assert status[K.CLIENTS]["burst"][K.REJECTED] == 6
+            assert status[K.QUEUE_DEPTH] == 1
+
+            session.release.set()
+            first.join(timeout=120)
+            second.join(timeout=120)
+            assert not first.is_alive() and not second.is_alive(), (
+                "an occupying client hung after the gate opened"
+            )
+            assert outcomes == [expected, expected]
+        finally:
+            session.release.set()
+            server.stop()
