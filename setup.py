@@ -12,7 +12,7 @@ with open(_readme) as fh:
 
 setup(
     name="repro-gatekeeper-gpu",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "From-scratch Python reproduction of GateKeeper-GPU: fast and "
         "accurate pre-alignment filtering in short read mapping"
@@ -29,6 +29,9 @@ setup(
     extras_require={
         "test": ["pytest", "hypothesis"],
         "bench": ["pytest", "pytest-benchmark"],
+        # The optional compiled kernel tier (repro.filters.native); without
+        # it every entry point runs on the pure-NumPy reference tier.
+        "native": ["numba"],
     },
     entry_points={
         "console_scripts": [

@@ -1,7 +1,7 @@
 """AST-based linter for the repo's engineered invariants (``repro lint``).
 
 See :mod:`repro.analysis.lint.engine` for the machinery and
-:mod:`repro.analysis.lint.rules` for the six repo-specific rules.
+:mod:`repro.analysis.lint.rules` for the seven repo-specific rules.
 """
 
 from __future__ import annotations

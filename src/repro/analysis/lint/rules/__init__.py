@@ -11,6 +11,7 @@ from ..engine import Rule
 from .determinism import DeterminismHazardsRule
 from .encode_once import EncodeOnceRule
 from .facade_imports import DeprecatedFacadeImportsRule
+from .native_parity import NativeKernelParityRule
 from .reduction import PartitionInvariantReductionRule
 from .schema_keys import ResultSchemaKeysRule
 from .shm_lifecycle import ShmLifecycleRule
@@ -24,6 +25,7 @@ __all__ = [
     "DeterminismHazardsRule",
     "ResultSchemaKeysRule",
     "DeprecatedFacadeImportsRule",
+    "NativeKernelParityRule",
 ]
 
 #: The default rule set, in reporting order.
@@ -34,6 +36,7 @@ ALL_RULES: "tuple[Rule, ...]" = (
     DeterminismHazardsRule(),
     ResultSchemaKeysRule(),
     DeprecatedFacadeImportsRule(),
+    NativeKernelParityRule(),
 )
 
 RULES_BY_ID: "dict[str, Rule]" = {rule.rule_id: rule for rule in ALL_RULES}

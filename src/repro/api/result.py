@@ -124,6 +124,12 @@ class Result:
     wall_clock_s:
         Measured wall-clock of the run; excluded from :meth:`as_dict` so the
         serialised report is byte-reproducible.
+    kernel_tier:
+        The kernel tier that actually ran (``"native"`` or ``"numpy"``), when
+        the run went through a filter engine; ``None`` otherwise.  Excluded
+        from :meth:`as_dict` — like the execution backend, the tier never
+        changes a result, so serialised reports stay byte-identical across
+        tiers.
     """
 
     kind: str
@@ -137,6 +143,7 @@ class Result:
     rows: list[dict[str, Any]] | None = None
     raw: Any = None
     wall_clock_s: float = 0.0
+    kernel_tier: str | None = None
     schema_version: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------ #

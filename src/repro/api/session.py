@@ -81,6 +81,7 @@ class Session:
             ex.n_devices,
             ex.encoding,
             ex.batch_size,
+            ex.kernel_tier,
         )
         with self._lock:
             engine = self._engines.get(key)
@@ -95,6 +96,7 @@ class Session:
                     n_devices=ex.n_devices,
                     encoding=EncodingActor(ex.encoding),
                     max_reads_per_batch=ex.batch_size,
+                    kernel_tier=ex.kernel_tier,
                 )
                 if workload.filter.is_cascade:
                     engine = FilterCascade.from_names(
@@ -247,9 +249,11 @@ class Session:
             executor=self.executor_for(workload),
         )
         report = pipeline.run(dataset, verify=workload.execution.verify)
-        return Result.from_pipeline_report(
+        result = Result.from_pipeline_report(
             report, workload, read_length=dataset.read_length, filter_name=engine.name
         )
+        result.kernel_tier = getattr(engine, "active_kernel_tier", None)
+        return result
 
     # -- streaming path -------------------------------------------------- #
     def _streaming_pairs(self, workload: Workload) -> tuple[Iterator[tuple[str, str]], str]:
@@ -288,7 +292,11 @@ class Session:
         pairs, name = self._streaming_pairs(workload)
         report = pipeline.run_pairs(pairs, name=name, verify=workload.execution.verify)
         stages = self._streaming_stage_rows(pipeline.engine, report)
-        return Result.from_streaming_report(report, workload, stages=stages)
+        result = Result.from_streaming_report(report, workload, stages=stages)
+        # The engine is built lazily on the first chunk; an empty input never
+        # builds one, in which case no kernel ran at all.
+        result.kernel_tier = getattr(pipeline.engine, "active_kernel_tier", None)
+        return result
 
     @staticmethod
     def _streaming_stage_rows(engine: Any, report: Any) -> "list[dict[str, Any]]":

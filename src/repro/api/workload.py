@@ -236,10 +236,14 @@ class ExecutionSpec:
     backend (:mod:`repro.exec`): ``serial`` (default), ``threads`` or
     ``processes`` with ``workers`` pool slots, and — for streamed runs — a
     prefetching producer thread that parses/encodes chunk ``N + 1`` while
-    chunk ``N`` filters.  These knobs change *how fast* a workload runs,
-    never *what* it computes: results are byte-identical across backends and
-    worker counts, which is why (like measured wall clock) they are excluded
-    from the canonical :meth:`Workload.to_dict` record.
+    chunk ``N`` filters.  ``kernel_tier`` selects the filter kernel
+    implementation (:mod:`repro.filters.native`): ``auto`` (Numba-compiled
+    kernels when available, the default), ``numpy`` (always the pure-NumPy
+    reference) or ``native`` (prefer compiled, silently falling back when
+    Numba is absent).  These knobs change *how fast* a workload runs, never
+    *what* it computes: results are byte-identical across backends, worker
+    counts and kernel tiers, which is why (like measured wall clock) they
+    are excluded from the canonical :meth:`Workload.to_dict` record.
     """
 
     mode: str = "auto"
@@ -252,9 +256,11 @@ class ExecutionSpec:
     executor: str = "serial"
     workers: int = 1
     prefetch: bool = False
+    kernel_tier: str = "auto"
 
     def __post_init__(self) -> None:
         from ..exec.executor import EXECUTOR_KINDS
+        from ..filters.native import KERNEL_TIERS
 
         _require(self.mode in EXECUTION_MODES, "execution.mode",
                  f"unknown mode {self.mode!r} (expected one of {list(EXECUTION_MODES)})")
@@ -269,6 +275,9 @@ class ExecutionSpec:
                  f"unknown executor {self.executor!r} "
                  f"(expected one of {list(EXECUTOR_KINDS)})")
         _require(self.workers >= 1, "execution.workers", "must be at least 1")
+        _require(self.kernel_tier in KERNEL_TIERS, "execution.kernel_tier",
+                 f"unknown kernel_tier {self.kernel_tier!r} "
+                 f"(expected one of {list(KERNEL_TIERS)})")
 
 
 @dataclass(frozen=True)
@@ -414,10 +423,11 @@ class Workload:
         devices/chunking/verify knobs the mapping workload does not consume
         are all dropped — so two workloads that behave identically serialise
         identically regardless of how they were constructed (TOML file, JSON,
-        or CLI flags).  The ``executor`` / ``workers`` / ``prefetch`` backend
-        knobs are excluded too: they never change a result (byte-identical
-        across backends), so workloads differing only in backend produce
-        byte-identical reports.  Canonicalisation is idempotent:
+        or CLI flags).  The ``executor`` / ``workers`` / ``prefetch`` /
+        ``kernel_tier`` backend knobs are excluded too: they never change a
+        result (byte-identical across backends and kernel tiers), so
+        workloads differing only in backend or tier produce byte-identical
+        reports.  Canonicalisation is idempotent:
         ``from_dict(w.to_dict()).to_dict() == w.to_dict()`` for every
         serialisable kind.  The exception is ``kind="pairs"``: in-memory
         pairs are represented by their count, so the emitted dict documents

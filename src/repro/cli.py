@@ -32,6 +32,7 @@ print byte-identical reports (locked down by
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -84,6 +85,14 @@ def _add_executor_flags(parser, streaming: bool = False) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker count for the threads/processes backends (default: 1)",
+    )
+    parser.add_argument(
+        "--kernel-tier",
+        choices=["auto", "numpy", "native"],
+        default="auto",
+        help="filter kernel implementation: Numba-compiled when available "
+        "(auto/native) or the pure-NumPy reference (numpy); decisions are "
+        "identical either way (default: auto)",
     )
     if streaming:
         parser.add_argument(
@@ -157,10 +166,20 @@ def run_main(argv: Sequence[str] | None = None) -> int:
         "--table", action="store_true",
         help="print human-readable tables instead of the JSON report",
     )
+    parser.add_argument(
+        "--kernel-tier",
+        choices=["auto", "numpy", "native"],
+        default=None,
+        help="override the workload's execution.kernel_tier for this run",
+    )
     args = parser.parse_args(argv)
 
     try:
         workload = Workload.from_file(args.workload)
+        if args.kernel_tier is not None:
+            workload = workload.replace(
+                execution=dataclasses.replace(workload.execution, kernel_tier=args.kernel_tier)
+            )
         with Session() as session:
             result = session.run(workload)
     except (OSError, ValueError, KeyError) as exc:
@@ -238,6 +257,7 @@ def filter_main(argv: Sequence[str] | None = None) -> int:
             "verify": args.verify,
             "executor": args.executor,
             "workers": args.workers,
+            "kernel_tier": args.kernel_tier,
         },
     })
     if args.json:
@@ -379,6 +399,7 @@ def stream_main(argv: Sequence[str] | None = None) -> int:
             "executor": args.executor,
             "workers": args.workers,
             "prefetch": args.prefetch,
+            "kernel_tier": args.kernel_tier,
         },
         "output": {
             "include_chunks": args.max_chunk_rows > 0,

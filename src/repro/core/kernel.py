@@ -28,6 +28,7 @@ import numpy as np
 
 from ..filters.batch import BatchFilterOutput
 from ..filters.masks import EdgePolicy
+from ..filters.native import DEFAULT_KERNEL_TIER, resolve
 from ..filters.packed import (
     amend_lanes,
     count_lane_windows,
@@ -43,6 +44,7 @@ __all__ = [
     "shift_words_left",
     "xor_words",
     "fold_words_to_base_mask",
+    "gatekeeper_kernel",
     "run_gatekeeper_kernel",
 ]
 
@@ -122,26 +124,22 @@ def fold_words_to_base_mask(xor_result: np.ndarray, length: int) -> np.ndarray:
     return mask.astype(np.uint8)
 
 
-def run_gatekeeper_kernel(
+def gatekeeper_kernel(
     read_words: np.ndarray,
     ref_words: np.ndarray,
     length: int,
     error_threshold: int,
-    edge_policy: str = EdgePolicy.ONE,
-    count_window: int = 4,
-    max_zero_run: int = 2,
-    undefined: np.ndarray | None = None,
-) -> BatchFilterOutput:
-    """Run the GateKeeper-GPU filtration kernel on a batch of encoded pairs.
+    edge_one: bool,
+    count_window: int,
+    max_zero_run: int,
+) -> np.ndarray:
+    """Pure-NumPy GateKeeper estimates for a batch of packed pairs.
 
-    This is the word-level path: every mask is produced, amended, edge-forced
-    and ANDed in the packed ``uint64`` lane representation, mirroring the CUDA
-    kernel's arithmetic (shift with carry transfer, XOR, OR-fold, popcount-
-    style window counting).  The decision semantics are identical to
-    :func:`repro.filters.batch.gatekeeper_batch`.
+    The registered reference implementation of the ``gatekeeper_kernel``
+    native pair: masks are produced, amended, edge-forced and ANDed in the
+    packed ``uint64`` lane representation, and the returned int32 estimates
+    are bit-identical to the Numba twin's.
     """
-    if read_words.shape != ref_words.shape:
-        raise ValueError("read and reference word arrays must have the same shape")
     n_pairs, n_words = read_words.shape
     e = int(error_threshold)
     shifts = [0] + [s for k in range(1, e + 1) for s in (k, -k)]
@@ -162,13 +160,48 @@ def run_gatekeeper_kernel(
     # the streak repair is positionally local, so stacking the masks costs
     # nothing semantically and collapses 2e+1 kernel invocations into one.
     masks = amend_lanes(masks, valid, max_zero_run=max_zero_run)
-    if edge_policy == EdgePolicy.ONE:
+    if edge_one:
         for row, vacated in enumerate(vacated_spans):
             if vacated is not None:
                 masks[row] |= vacated
     final = np.bitwise_and.reduce(masks, axis=0)
 
-    estimates = count_lane_windows(final, length, window=count_window)
+    return count_lane_windows(final, length, window=count_window).astype(np.int32)
+
+
+def run_gatekeeper_kernel(
+    read_words: np.ndarray,
+    ref_words: np.ndarray,
+    length: int,
+    error_threshold: int,
+    edge_policy: str = EdgePolicy.ONE,
+    count_window: int = 4,
+    max_zero_run: int = 2,
+    undefined: np.ndarray | None = None,
+    tier: str = DEFAULT_KERNEL_TIER,
+) -> BatchFilterOutput:
+    """Run the GateKeeper-GPU filtration kernel on a batch of encoded pairs.
+
+    This is the word-level path: every mask is produced, amended, edge-forced
+    and ANDed in the packed ``uint64`` lane representation, mirroring the CUDA
+    kernel's arithmetic (shift with carry transfer, XOR, OR-fold, popcount-
+    style window counting).  The decision semantics are identical to
+    :func:`repro.filters.batch.gatekeeper_batch` on either kernel tier.
+    """
+    if read_words.shape != ref_words.shape:
+        raise ValueError("read and reference word arrays must have the same shape")
+    n_pairs = read_words.shape[0]
+    e = int(error_threshold)
+    kernel, _ = resolve("gatekeeper_kernel", tier)
+    estimates = kernel(
+        read_words,
+        ref_words,
+        length,
+        e,
+        edge_policy == EdgePolicy.ONE,
+        count_window,
+        max_zero_run,
+    )
 
     if undefined is None:
         undefined = np.zeros(n_pairs, dtype=bool)

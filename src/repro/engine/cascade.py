@@ -132,6 +132,15 @@ class FilterCascade:
     def encoding(self) -> EncodingActor:
         return self.stages[0].encoding
 
+    @property
+    def kernel_tier(self) -> str:
+        return self.stages[0].kernel_tier
+
+    @property
+    def active_kernel_tier(self) -> str:
+        """The tier the stages actually run (``"native"`` or ``"numpy"``)."""
+        return self.stages[0].active_kernel_tier
+
     # ------------------------------------------------------------------ #
     # Filtering
     # ------------------------------------------------------------------ #
@@ -221,6 +230,7 @@ class FilterCascade:
                 "stages": [stage.name for stage in self.stages],
                 "n_devices": self.n_devices,
                 "encoding": self.encoding.value,
+                "kernel_tier": self.active_kernel_tier,
             },
             stage_accounts=accounts,
         )
@@ -294,6 +304,7 @@ class FilterCascade:
                 "stages": [stage.name for stage in self.stages],
                 "n_devices": self.n_devices,
                 "encoding": self.encoding.value,
+                "kernel_tier": self.active_kernel_tier,
             },
             stage_accounts=accounts,
         )

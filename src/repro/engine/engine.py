@@ -31,6 +31,7 @@ from ..core.kernel import run_gatekeeper_kernel
 from ..core.preprocess import prepare_batches_encoded
 from ..core.results import FilterRunResult
 from ..filters.base import PreAlignmentFilter
+from ..filters.native import DEFAULT_KERNEL_TIER, active_tier, validate_tier
 from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.device import DeviceSpec, GTX_1080_TI, SystemSetup
 from ..gpusim.multi_gpu import split_evenly
@@ -60,6 +61,11 @@ class FilterEngine:
         :class:`EncodingActor` — whether the host or the device encodes.
     max_reads_per_batch:
         Cap on pairs per kernel call (Table 1 parameter).
+    kernel_tier:
+        Which kernel implementation runs (:mod:`repro.filters.native`):
+        ``"auto"`` (default), ``"numpy"`` or ``"native"``.  Decisions are
+        bit-identical across tiers; the tier that actually ran is recorded
+        in the result metadata.
     filter_kwargs:
         Extra constructor arguments for name/class specs (e.g. ``window=4``
         for Shouji).
@@ -75,6 +81,7 @@ class FilterEngine:
         n_devices: int = 1,
         encoding: EncodingActor = EncodingActor.DEVICE,
         max_reads_per_batch: int = 100_000,
+        kernel_tier: str = DEFAULT_KERNEL_TIER,
         **filter_kwargs: Any,
     ) -> None:
         if setup is not None and devices is not None:
@@ -86,6 +93,7 @@ class FilterEngine:
             device_list = list(devices) if devices else [GTX_1080_TI] * n_devices
             host = None
         self.filter = resolve_filter(filter_spec, error_threshold, **filter_kwargs)
+        self.kernel_tier = validate_tier(kernel_tier)
         self.config = SystemConfiguration(
             read_length=read_length,
             error_threshold=int(error_threshold),
@@ -127,6 +135,15 @@ class FilterEngine:
         return bool(getattr(self.filter, "word_kernel_compatible", False))
 
     @property
+    def active_kernel_tier(self) -> str:
+        """The tier that actually runs (``"native"`` or ``"numpy"``).
+
+        ``"native"`` requires both the configured ``kernel_tier`` to allow it
+        and Numba to be importable; otherwise the NumPy reference tier runs.
+        """
+        return active_tier(self.kernel_tier)
+
+    @property
     def _needs_word_arrays(self) -> bool:
         """True when filtering will consume the packed word representation."""
         return self.uses_word_kernel or callable(
@@ -164,14 +181,19 @@ class FilterEngine:
                 count_window=getattr(self.filter, "count_window", 4),
                 max_zero_run=getattr(self.filter, "max_zero_run", 2),
                 undefined=batch.undefined,
+                tier=self.kernel_tier,
             )
             return output.estimated_edits, output.accepted, output.undefined
         undefined = np.asarray(batch.undefined, dtype=bool)
         packed_kernel = getattr(self.filter, "estimate_edits_words", None)
         if callable(packed_kernel):
+            kwargs: "dict[str, Any]" = {}
+            if getattr(self.filter, "native_kernel", None):
+                # Filters with a registered kernel pair accept the tier knob.
+                kwargs["tier"] = self.kernel_tier
             estimates = np.asarray(
                 packed_kernel(
-                    batch.read_words, batch.ref_words, self.config.read_length
+                    batch.read_words, batch.ref_words, self.config.read_length, **kwargs
                 ),
                 dtype=np.int32,
             )
@@ -304,6 +326,7 @@ class FilterEngine:
                 "n_devices": self.config.n_devices,
                 "device": self.config.primary_device.name,
                 "edge_policy": getattr(self.filter, "edge_policy", None),
+                "kernel_tier": self.active_kernel_tier,
             },
         )
 

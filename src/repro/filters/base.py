@@ -77,6 +77,12 @@ class PreAlignmentFilter(ABC):
     #: Human readable name used by the analysis tables.
     name: str = "filter"
 
+    #: Name of this filter's registered kernel pair in
+    #: :mod:`repro.filters.native`, or ``None`` when the filter has no native
+    #: tier.  When set, ``estimate_edits_words`` accepts a ``tier`` keyword
+    #: and the engine threads its configured ``kernel_tier`` through it.
+    native_kernel: "str | None" = None
+
     def __init__(self, error_threshold: int):
         if error_threshold < 0:
             raise ValueError("error_threshold must be non-negative")

@@ -36,14 +36,44 @@ import numpy as np
 
 from .base import PreAlignmentFilter
 from .batch import shifted_mismatch_batch
+from .native import DEFAULT_KERNEL_TIER, resolve
 from .packed import (
     lane_span_mask,
+    popcount,
     shifted_mismatch_lanes,
     unpack_group_values,
     zero_run_markers,
 )
 
-__all__ = ["MagnetFilter"]
+__all__ = ["MagnetFilter", "magnet_kernel"]
+
+
+def magnet_kernel(
+    read_words: np.ndarray,
+    ref_words: np.ndarray,
+    length: int,
+    error_threshold: int,
+) -> np.ndarray:
+    """Pure-NumPy MAGNET estimates for a batch of packed pairs.
+
+    The registered reference implementation of the ``magnet_kernel`` native
+    pair: packed mask construction, marker-based zero-run detection and the
+    whole-batch extraction state machine, returning int32 estimates
+    bit-identical to the Numba twin's per-pair divide-and-conquer.
+    """
+    flt = MagnetFilter(error_threshold)
+    read_words = np.asarray(read_words, dtype=np.uint64)
+    ref_words = np.asarray(ref_words, dtype=np.uint64)
+    n_pairs, n_words = read_words.shape
+    valid = lane_span_mask(0, length, n_words)
+    estimates = np.empty(n_pairs, dtype=np.int32)
+    block_size = MagnetFilter._EXTRACT_BLOCK
+    for start in range(0, n_pairs, block_size):
+        block = slice(start, min(start + block_size, n_pairs))
+        estimates[block] = flt._estimate_words_block(
+            read_words[block], ref_words[block], length, valid
+        )
+    return estimates
 
 
 def _zero_runs_all_masks(masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -67,6 +97,7 @@ class MagnetFilter(PreAlignmentFilter):
     """MAGNET: longest-zero-segment extraction filter."""
 
     name = "MAGNET"
+    native_kernel = "magnet_kernel"
 
     def __init__(self, error_threshold: int):
         super().__init__(error_threshold)
@@ -173,7 +204,8 @@ class MagnetFilter(PreAlignmentFilter):
         (first mask, then leftmost run — the table's order).
         """
         clipped_starts = np.maximum(run_starts, lo[:, np.newaxis])
-        clipped_lens = np.minimum(run_ends, hi[:, np.newaxis]) - clipped_starts
+        clipped_lens = np.minimum(run_ends, hi[:, np.newaxis])
+        clipped_lens -= clipped_starts
         k = np.argmax(clipped_lens, axis=1)
         picked = np.arange(len(k))
         lengths = np.maximum(clipped_lens[picked, k], 0)
@@ -278,14 +310,19 @@ class MagnetFilter(PreAlignmentFilter):
         ends: np.ndarray,
         n_pairs: int,
         n: int,
+        counts: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Scatter (row-sorted) runs into padded ``(n_pairs, max_runs)`` tables.
 
         ``rows`` must be non-decreasing with runs already in (mask, position)
         order within each row — exactly what row-major ``nonzero`` produces.
-        Padding sentinels clip to lengths below any real run's.
+        Padding sentinels clip to lengths below any real run's.  ``counts``
+        (runs per row) may be supplied when the caller already knows it — the
+        packed path counts runs with a word popcount, which is cheaper than
+        the ``bincount`` pass here.
         """
-        counts = np.bincount(rows, minlength=n_pairs)
+        if counts is None:
+            counts = np.bincount(rows, minlength=n_pairs)
         max_runs = int(counts.max()) if counts.size else 0
         # Positions fit 16 bits for any realistic read; the sentinel values
         # (+-(n + 2)) must fit too, with headroom for the clipping arithmetic.
@@ -293,8 +330,11 @@ class MagnetFilter(PreAlignmentFilter):
         run_starts = np.full((n_pairs, max_runs), n + 2, dtype=dtype)
         run_ends = np.full((n_pairs, max_runs), -(n + 2), dtype=dtype)
         if rows.size:
-            offsets = np.concatenate(([0], np.cumsum(counts)))
-            flat_index = rows * max_runs + (np.arange(rows.size) - offsets[rows])
+            offsets = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))
+            ).astype(np.int32)
+            flat_index = rows.astype(np.int32) * np.int32(max_runs)
+            flat_index += np.arange(rows.size, dtype=np.int32) - offsets[rows]
             run_starts.ravel()[flat_index] = starts
             run_ends.ravel()[flat_index] = ends
         return run_starts, run_ends
@@ -348,7 +388,11 @@ class MagnetFilter(PreAlignmentFilter):
     _EXTRACT_BLOCK = 2048
 
     def estimate_edits_words(
-        self, read_words: np.ndarray, ref_words: np.ndarray, length: int
+        self,
+        read_words: np.ndarray,
+        ref_words: np.ndarray,
+        length: int,
+        tier: str = DEFAULT_KERNEL_TIER,
     ) -> np.ndarray:
         """Packed-word MAGNET over pre-encoded word arrays.
 
@@ -357,20 +401,14 @@ class MagnetFilter(PreAlignmentFilter):
         run is located by the packed start/end marker kernel, and only those
         marker bitmaps are unpacked — straight into the whole-batch
         :meth:`_extract_batch` state machine (no per-pair Python loop).
+        ``tier`` selects the kernel tier; both tiers return bit-identical
+        estimates.
         """
-        read_words = np.asarray(read_words, dtype=np.uint64)
-        ref_words = np.asarray(ref_words, dtype=np.uint64)
-        n_pairs, n_words = read_words.shape
+        n_pairs = read_words.shape[0]
         if length == 0:
             return np.zeros(n_pairs, dtype=np.int32)
-        valid = lane_span_mask(0, length, n_words)
-        estimates = np.empty(n_pairs, dtype=np.int32)
-        for start in range(0, n_pairs, self._EXTRACT_BLOCK):
-            block = slice(start, min(start + self._EXTRACT_BLOCK, n_pairs))
-            estimates[block] = self._estimate_words_block(
-                read_words[block], ref_words[block], length, valid
-            )
-        return estimates
+        kernel, _ = resolve("magnet_kernel", tier)
+        return kernel(read_words, ref_words, length, self.error_threshold)
 
     def _estimate_words_block(
         self,
@@ -392,26 +430,34 @@ class MagnetFilter(PreAlignmentFilter):
                 read_words, ref_words, shift, length, vacant_value=1, valid=valid
             )
         start_marks, end_marks = zero_run_markers(masks, valid)
+        # Runs per pair straight from the packed start markers: one popcount
+        # over the marker words replaces _pad_runs' bincount over the (much
+        # longer) per-run row list.
+        counts = popcount(start_marks).reshape(n_pairs, -1).sum(axis=1, dtype=np.int32)
         # Start and end markers share one unpack + nonzero pass: the end
         # marker rides in the unused high bit of each base's 2-bit group, so
         # one unpacked value per position says start (1), end (2) or both (3
         # — a single-base run).  Row-major flatnonzero yields each pair's
         # runs in the (mask, position) order the tie-breaking relies on, and
         # because the per-pair span is a multiple of ``length``, a single
-        # modulo recovers the in-mask position.
+        # modulo recovers the in-mask position.  All index arithmetic runs in
+        # int32 — the flat indices are far below 2**31 and the narrower lanes
+        # halve the memory traffic of the divides and compactions.
         kinds = unpack_group_values(
             start_marks | (end_marks << np.uint64(1)), length
         ).reshape(-1)
-        flat = np.flatnonzero(kinds)
+        flat = np.flatnonzero(kinds).astype(np.int32)
         values = kinds[flat]
         is_start = (values & 1).astype(bool)
         is_end = values >= 2
-        span = kinds.shape[0] // n_pairs
+        span = np.int32(kinds.shape[0] // n_pairs)
+        positions = flat % np.int32(length)  # span is a multiple of length
         run_starts, run_ends = self._pad_runs(
             flat[is_start] // span,
-            flat[is_start] % length,
-            flat[is_end] % length + 1,
+            positions[is_start],
+            positions[is_end] + np.int32(1),
             n_pairs,
             length,
+            counts=counts,
         )
         return self._extract_batch(run_starts, run_ends, length)

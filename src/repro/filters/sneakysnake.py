@@ -26,10 +26,11 @@ from __future__ import annotations
 import numpy as np
 
 from .base import PreAlignmentFilter
+from .native import DEFAULT_KERNEL_TIER, resolve
 from .packed import neighborhood_lanes, unpack_lanes
 from .shouji import neighborhood_map_batch
 
-__all__ = ["SneakySnakeFilter"]
+__all__ = ["SneakySnakeFilter", "sneakysnake_kernel"]
 
 
 def _longest_free_runs(obstacles: np.ndarray) -> np.ndarray:
@@ -47,10 +48,29 @@ def _longest_free_runs(obstacles: np.ndarray) -> np.ndarray:
     return (next_obstacle - columns).max(axis=1)
 
 
+def sneakysnake_kernel(
+    read_words: np.ndarray,
+    ref_words: np.ndarray,
+    length: int,
+    error_threshold: int,
+) -> np.ndarray:
+    """Pure-NumPy SneakySnake estimates for a batch of packed pairs.
+
+    The registered reference implementation of the ``sneakysnake_kernel``
+    native pair: the chip maze is built bit-parallel from the word arrays and
+    routed in lockstep, returning int32 estimates bit-identical to the Numba
+    twin's per-pair greedy walk.
+    """
+    flt = SneakySnakeFilter(error_threshold)
+    lanes = neighborhood_lanes(read_words, ref_words, length, error_threshold)
+    return flt._route(_longest_free_runs(unpack_lanes(lanes, length)), length)
+
+
 class SneakySnakeFilter(PreAlignmentFilter):
     """SneakySnake: greedy single-net-routing filter."""
 
     name = "SneakySnake"
+    native_kernel = "sneakysnake_kernel"
 
     def __init__(self, error_threshold: int):
         super().__init__(error_threshold)
@@ -76,20 +96,25 @@ class SneakySnakeFilter(PreAlignmentFilter):
         return self._route(_longest_free_runs(nmap), n)
 
     def estimate_edits_words(
-        self, read_words: np.ndarray, ref_words: np.ndarray, length: int
+        self,
+        read_words: np.ndarray,
+        ref_words: np.ndarray,
+        length: int,
+        tier: str = DEFAULT_KERNEL_TIER,
     ) -> np.ndarray:
         """Packed-word path: the chip maze is built from the encoded words.
 
         Used by :class:`repro.engine.FilterEngine` when the pairs arrive as an
         :class:`~repro.genomics.encoding.EncodedPairBatch` — the neighborhood
         map rows are shifted-XOR lane masks of the 2-bit word arrays, so no
-        per-base comparison is ever performed.
+        per-base comparison is ever performed.  ``tier`` selects the kernel
+        tier; both tiers return bit-identical estimates.
         """
         n_pairs = read_words.shape[0]
         if length == 0:
             return np.zeros(n_pairs, dtype=np.int32)
-        lanes = neighborhood_lanes(read_words, ref_words, length, self.error_threshold)
-        return self._route(_longest_free_runs(unpack_lanes(lanes, length)), length)
+        kernel, _ = resolve("sneakysnake_kernel", tier)
+        return kernel(read_words, ref_words, length, self.error_threshold)
 
     def _route(self, longest_run: np.ndarray, n: int) -> np.ndarray:
         """Greedy routing, all pairs in lockstep.

@@ -72,6 +72,15 @@ def serve_main(argv: "Sequence[str] | None" = None) -> int:
         help="per-request frame ceiling (default: %(default)s)",
     )
     parser.add_argument(
+        "--kernel-tier",
+        choices=["auto", "numpy", "native"],
+        default=None,
+        help=(
+            "daemon-wide kernel tier applied to workloads that left "
+            "execution.kernel_tier at 'auto' (default: no override)"
+        ),
+    )
+    parser.add_argument(
         "--ready-file", default=None, metavar="PATH",
         help=(
             "write a JSON {host, port, pid} file once listening "
@@ -92,6 +101,7 @@ def serve_main(argv: "Sequence[str] | None" = None) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         max_request_bytes=args.max_request_bytes,
+        kernel_tier=args.kernel_tier,
     )
     try:
         server.start()

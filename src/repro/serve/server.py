@@ -30,6 +30,7 @@ request carries and served by the ``status`` operation.
 
 from __future__ import annotations
 
+import dataclasses
 import queue
 import socket
 import threading
@@ -40,6 +41,7 @@ from typing import Any
 from .. import _schema as K
 from ..api.session import Session
 from ..api.workload import Workload
+from ..filters.native import validate_tier
 from . import protocol as P
 
 __all__ = ["ReproServer", "DEFAULT_QUEUE_DEPTH", "DEFAULT_REQUEST_TIMEOUT_S"]
@@ -104,6 +106,11 @@ class ReproServer:
         server builds (and owns) a fresh one.  Either way :meth:`stop` calls
         :meth:`Session.close` — that only releases executor pools, the
         construction caches survive.
+    kernel_tier:
+        Daemon-wide default kernel tier.  Submitted workloads that left
+        ``execution.kernel_tier`` at ``"auto"`` run with this tier instead; a
+        workload that pinned ``"numpy"`` or ``"native"`` explicitly keeps its
+        own choice.  ``None`` (the default) applies no override.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class ReproServer:
         max_request_bytes: int = P.DEFAULT_MAX_REQUEST_BYTES,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         session: "Session | None" = None,
+        kernel_tier: "str | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -122,6 +130,9 @@ class ReproServer:
             raise ValueError("queue_depth must be at least 1")
         if max_request_bytes < 1:
             raise ValueError("max_request_bytes must be at least 1")
+        if kernel_tier is not None:
+            validate_tier(kernel_tier)
+        self.kernel_tier = kernel_tier
         self.host = host
         self.workers = int(workers)
         self.queue_depth = int(queue_depth)
@@ -323,6 +334,13 @@ class ReproServer:
                 conn, P.error_envelope(P.ERR_BAD_WORKLOAD, str(exc)), close=False
             )
             return False
+        if self.kernel_tier is not None and workload.execution.kernel_tier == "auto":
+            # Daemon-wide default; explicit numpy/native pins in the workload win.
+            workload = workload.replace(
+                execution=dataclasses.replace(
+                    workload.execution, kernel_tier=self.kernel_tier
+                )
+            )
         job = _Job(workload=workload, client=client, conn=conn)
         try:
             self._queue.put_nowait(job)

@@ -20,6 +20,8 @@ from hypothesis.extra import numpy as hnp
 from repro.core.kernel import run_gatekeeper_kernel
 from repro.engine import available_filters, get_filter
 from repro.filters import packed
+from repro.filters.native import _kernels as native_kernels
+from repro.filters.native import resolve
 from repro.filters.bitvector import amend_mask, count_set_windows
 from repro.filters.masks import EdgePolicy, build_mask_set
 from repro.filters.shouji import neighborhood_map_batch
@@ -122,6 +124,134 @@ class TestGateKeeperKernelProperties:
             dtype=np.int32,
         )
         assert np.array_equal(output.estimated_edits, expect)
+
+
+def _twin(name):
+    """The registered NumPy reference implementation of a native kernel."""
+    fn, tier = resolve(name, "numpy")
+    assert tier == "numpy"
+    return fn
+
+
+class TestNativeKernelDifferentials:
+    """Every native kernel source against its registered NumPy twin.
+
+    The ``_kernels`` functions run here as plain Python when Numba is not
+    installed (the ``@njit`` decorator degrades to identity), so the same
+    assertions cover both the uncompiled sources and — on CI with the
+    ``[native]`` extra — the compiled machine code.
+    """
+
+    @settings(max_examples=15, **COMMON)
+    @given(mask=bit_masks())
+    def test_popcount(self, mask):
+        words = packed.pack_lanes(mask)
+        got = native_kernels.popcount(words)
+        expect = _twin("popcount")(words)
+        assert got.dtype == expect.dtype
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=15, **COMMON)
+    @given(mask=bit_masks(), bits=st.integers(min_value=0, max_value=130))
+    def test_shift_words_right_bits(self, mask, bits):
+        words = packed.pack_lanes(mask)
+        got = native_kernels.shift_words_right_bits(words, bits)
+        assert np.array_equal(got, _twin("shift_words_right_bits")(words, bits))
+
+    @settings(max_examples=15, **COMMON)
+    @given(mask=bit_masks(), bits=st.integers(min_value=0, max_value=130))
+    def test_shift_words_left_bits(self, mask, bits):
+        words = packed.pack_lanes(mask)
+        got = native_kernels.shift_words_left_bits(words, bits)
+        assert np.array_equal(got, _twin("shift_words_left_bits")(words, bits))
+
+    @settings(max_examples=15, **COMMON)
+    @given(mask=bit_masks(), max_zero_run=st.integers(min_value=1, max_value=2))
+    def test_amend_lanes(self, mask, max_zero_run):
+        length = mask.shape[1]
+        lanes = packed.pack_lanes(mask)
+        valid = packed.lane_span_mask(0, length, lanes.shape[-1])
+        got = native_kernels.amend_lanes(lanes, valid, max_zero_run=max_zero_run)
+        expect = _twin("amend_lanes")(lanes, valid, max_zero_run=max_zero_run)
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=15, **COMMON)
+    @given(mask=bit_masks(), window=st.integers(min_value=1, max_value=8))
+    def test_count_lane_windows(self, mask, window):
+        length = mask.shape[1]
+        lanes = packed.pack_lanes(mask)
+        got = native_kernels.count_lane_windows(lanes, length, window=window)
+        expect = _twin("count_lane_windows")(lanes, length, window=window)
+        assert got.dtype == expect.dtype
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=15, **COMMON)
+    @given(mask=bit_masks())
+    def test_zero_run_markers(self, mask):
+        length = mask.shape[1]
+        lanes = packed.pack_lanes(mask)
+        valid = packed.lane_span_mask(0, length, lanes.shape[-1])
+        got_starts, got_ends = native_kernels.zero_run_markers(lanes, valid)
+        exp_starts, exp_ends = _twin("zero_run_markers")(lanes, valid)
+        assert np.array_equal(got_starts, exp_starts)
+        assert np.array_equal(got_ends, exp_ends)
+
+    @settings(max_examples=15, **COMMON)
+    @given(batch=pair_batches(), threshold=st.integers(min_value=0, max_value=6))
+    def test_neighborhood_lanes(self, batch, threshold):
+        read, ref = batch
+        length = read.shape[1]
+        read_words = pack_codes_to_words(read, 64)
+        ref_words = pack_codes_to_words(ref, 64)
+        got = native_kernels.neighborhood_lanes(
+            read_words, ref_words, length, threshold
+        )
+        expect = _twin("neighborhood_lanes")(read_words, ref_words, length, threshold)
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=10, **COMMON)
+    @given(
+        batch=pair_batches(),
+        threshold=st.integers(min_value=0, max_value=6),
+        edge_one=st.booleans(),
+    )
+    def test_gatekeeper_kernel(self, batch, threshold, edge_one):
+        read, ref = batch
+        length = read.shape[1]
+        read_words = pack_codes_to_words(read, 64)
+        ref_words = pack_codes_to_words(ref, 64)
+        got = native_kernels.gatekeeper_kernel(
+            read_words, ref_words, length, threshold, edge_one, 4, 2
+        )
+        expect = _twin("gatekeeper_kernel")(
+            read_words, ref_words, length, threshold, edge_one, 4, 2
+        )
+        assert got.dtype == expect.dtype
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=10, **COMMON)
+    @given(batch=pair_batches(), threshold=st.integers(min_value=0, max_value=6))
+    def test_sneakysnake_kernel(self, batch, threshold):
+        read, ref = batch
+        length = read.shape[1]
+        read_words = pack_codes_to_words(read, 64)
+        ref_words = pack_codes_to_words(ref, 64)
+        got = native_kernels.sneakysnake_kernel(
+            read_words, ref_words, length, threshold
+        )
+        expect = _twin("sneakysnake_kernel")(read_words, ref_words, length, threshold)
+        assert np.array_equal(got, expect)
+
+    @settings(max_examples=10, **COMMON)
+    @given(batch=pair_batches(), threshold=st.integers(min_value=0, max_value=6))
+    def test_magnet_kernel(self, batch, threshold):
+        read, ref = batch
+        length = read.shape[1]
+        read_words = pack_codes_to_words(read, 64)
+        ref_words = pack_codes_to_words(ref, 64)
+        got = native_kernels.magnet_kernel(read_words, ref_words, length, threshold)
+        expect = _twin("magnet_kernel")(read_words, ref_words, length, threshold)
+        assert np.array_equal(got, expect)
 
 
 class TestFilterEstimateProperties:

@@ -149,6 +149,18 @@ FIXTURES = [
         "from ..runtime import StreamingPipeline\n",
         "from ..api import Session\n",
     ),
+    (
+        "native-kernel-parity",
+        "src/repro/filters/native/_register.py",
+        'register_fallback("popcount", _packed.count_set_bits)\n',
+        'register_fallback("popcount", _packed.popcount)\n',
+    ),
+    (
+        "native-kernel-parity",
+        "src/repro/engine/fast.py",
+        "from numba import njit\n",
+        "from ..filters.native import resolve\n",
+    ),
 ]
 
 
@@ -203,6 +215,21 @@ class TestScoping:
         source = "from repro.core.pipeline import FilteringPipeline\n"
         assert "deprecated-facade-imports" not in rules_hit(
             source, "src/repro/api/session.py"
+        )
+
+    def test_numba_import_allowed_in_native_package(self):
+        source = "from numba import njit\n"
+        assert "native-kernel-parity" not in rules_hit(
+            source, "src/repro/filters/native/_kernels.py"
+        )
+        assert "native-kernel-parity" in rules_hit(
+            source, "src/repro/filters/packed.py"
+        )
+
+    def test_lambda_fallback_registration_is_flagged(self):
+        source = 'register_fallback("popcount", lambda x: x)\n'
+        assert "native-kernel-parity" in rules_hit(
+            source, "src/repro/filters/native/_register.py"
         )
 
 
