@@ -1,0 +1,101 @@
+"""Cluster fan-out benchmark: shard/merge identity + virtual-cluster throughput.
+
+Like the other benchmarks this is a plain script so CI can run it without
+extra dependencies:
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+
+For each shard count in {1, 2, 4, 8} it plans the same workload with
+``repro.cluster.plan_shards``, executes every shard on the local virtual
+cluster (one ``python -m repro.cli run`` subprocess per shard — exactly what
+a SLURM array task does), merges the per-shard results with
+``repro.cluster.merge_files`` and **asserts the merged Result JSON is
+byte-identical to the unsharded single-run JSON before recording any
+timing**.  The throughput rows measure end-to-end wall clock (subprocess
+startup + run + merge), so on a single-core runner sharding can only add
+overhead — the point of the numbers is the scaling shape, the point of the
+benchmark is the identity guarantee.
+
+Environment knobs: ``REPRO_BENCH_CLUSTER_PAIRS`` (default 40,000),
+``REPRO_BENCH_CLUSTER_OUTPUT``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import SCHEMA_VERSION, Session, Workload  # noqa: E402
+from repro.cluster import merge_files, plan_shards, run_local, write_plan  # noqa: E402
+
+N_PAIRS = int(os.environ.get("REPRO_BENCH_CLUSTER_PAIRS", "40000"))
+OUTPUT = Path(os.environ.get("REPRO_BENCH_CLUSTER_OUTPUT", "BENCH_cluster.json"))
+SHARD_COUNTS = (1, 2, 4, 8)
+FILTER = "gatekeeper-gpu"
+ERROR_THRESHOLD = 5
+
+
+def workload_dict() -> dict:
+    return {
+        "input": {"kind": "dataset", "dataset": "Set 1",
+                  "n_pairs": N_PAIRS, "seed": 42},
+        "filter": {"filter": FILTER, "error_threshold": ERROR_THRESHOLD},
+        "execution": {"mode": "memory", "verify": False},
+    }
+
+
+def bench_shard_count(n_shards: int, single_json: str, jobs: int) -> dict:
+    plan = plan_shards(workload_dict(), n_shards)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+        paths = write_plan(plan, tmp)
+        start = time.perf_counter()
+        result_files = run_local(
+            paths["shards"], paths["results_dir"], jobs=jobs, timeout_s=600
+        )
+        merged = merge_files(result_files, manifest=paths["manifest"])
+        wall_s = time.perf_counter() - start
+    # Identity first: a fast wrong answer is not a benchmark result.
+    if merged.to_json() != single_json:
+        raise SystemExit(f"shards={n_shards}: merged JSON diverged from single run")
+    return {
+        "n_shards": n_shards,
+        "jobs": jobs,
+        "wall_s": round(wall_s, 4),
+        "pairs_per_s": round(N_PAIRS / wall_s, 1),
+        "byte_identical": True,
+    }
+
+
+def main() -> int:
+    workload = Workload.from_dict(workload_dict())
+    with Session() as session:
+        single_json = session.run(workload).to_json()
+
+    cpu_count = os.cpu_count() or 1
+    rows = [
+        bench_shard_count(n, single_json, jobs=min(n, cpu_count))
+        for n in SHARD_COUNTS
+    ]
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "filter": FILTER,
+        "n_pairs": N_PAIRS,
+        "error_threshold": ERROR_THRESHOLD,
+        "cpu_count": cpu_count,
+        "mode": "memory",
+        "virtual_cluster": rows,
+        "merge_byte_identical": all(row["byte_identical"] for row in rows),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ with open(_readme) as fh:
 
 setup(
     name="repro-gatekeeper-gpu",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "From-scratch Python reproduction of GateKeeper-GPU: fast and "
         "accurate pre-alignment filtering in short read mapping"
@@ -42,6 +42,8 @@ setup(
             "repro-stream=repro.cli:stream_main",
             "repro-serve=repro.serve.cli:serve_main",
             "repro-submit=repro.serve.cli:submit_main",
+            "repro-shard=repro.cluster.cli:shard_main",
+            "repro-merge=repro.cluster.cli:merge_main",
         ]
     },
     classifiers=[

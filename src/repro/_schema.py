@@ -106,6 +106,31 @@ STREAMING_KEYS = frozenset({
 })
 
 # --------------------------------------------------------------------------- #
+# Shard section (repro.cluster: per-shard provenance on a sharded Result)
+# --------------------------------------------------------------------------- #
+SHARD = "shard"
+SHARD_INDEX = "index"
+N_SHARDS = "n_shards"
+SHARD_START = "start"
+SHARD_STOP = "stop"
+SHARD_TOTAL = "total"
+#: Per-chunk, per-device ``[transfer_s, kernel_s, host_s]`` triples recorded
+#: by a sharded streaming run so ``repro merge`` can replay the stream-overlap
+#: model in the exact single-run accumulation order (float addition is not
+#: associative; replaying beats re-deriving).
+CHUNK_DEVICE_TIMINGS = "chunk_device_timings"
+
+#: Keys of the ``shard`` section carried by a per-shard Result.
+SHARD_KEYS = frozenset({
+    SHARD_INDEX,
+    N_SHARDS,
+    SHARD_START,
+    SHARD_STOP,
+    SHARD_TOTAL,
+    CHUNK_DEVICE_TIMINGS,
+})
+
+# --------------------------------------------------------------------------- #
 # Serve protocol envelope (repro.serve request/response wire format)
 # --------------------------------------------------------------------------- #
 SCHEMA_VERSION_KEY = "schema_version"
@@ -251,6 +276,14 @@ __all__ = [
     "SERIAL_TIME_S",
     "OVERLAPPED_TIME_S",
     "OVERLAP_SPEEDUP",
+    "SHARD",
+    "SHARD_INDEX",
+    "N_SHARDS",
+    "SHARD_START",
+    "SHARD_STOP",
+    "SHARD_TOTAL",
+    "CHUNK_DEVICE_TIMINGS",
+    "SHARD_KEYS",
     "SCHEMA_VERSION_KEY",
     "OP",
     "OK",

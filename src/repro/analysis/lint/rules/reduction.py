@@ -78,6 +78,7 @@ class PartitionInvariantReductionRule(Rule):
             mpath.startswith("repro/exec/")
             or mpath.startswith("repro/engine/")
             or mpath.startswith("repro/runtime/")
+            or mpath.startswith("repro/cluster/")
         )
 
     def check(self, tree: ast.Module, path: str) -> "list[Violation]":

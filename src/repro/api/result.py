@@ -118,6 +118,12 @@ class Result:
         Leading per-chunk accounting rows (``None`` when not collected).
     rows:
         Mapping-information rows for ``kind="mapping"`` runs.
+    shard:
+        Shard provenance for runs whose workload carries an
+        ``execution.shard`` slice (:mod:`repro.cluster`): index, slice
+        bounds, totals and — for streamed shards — the per-chunk per-device
+        timing triples ``repro merge`` replays.  ``None`` (and absent from
+        :meth:`as_dict`) on unsharded and merged results.
     raw:
         The underlying report object (``PipelineReport``, ``StreamingReport``
         or ``WholeGenomeRun``) for programmatic consumers; never serialised.
@@ -141,6 +147,7 @@ class Result:
     stages: list[dict[str, Any]] = field(default_factory=list)
     chunks: list[dict[str, Any]] | None = None
     rows: list[dict[str, Any]] | None = None
+    shard: dict[str, Any] | None = None
     raw: Any = None
     wall_clock_s: float = 0.0
     kernel_tier: str | None = None
@@ -170,6 +177,10 @@ class Result:
             out["chunks"] = self.chunks
         if self.rows is not None:
             out["rows"] = self.rows
+        # Shard provenance is emitted only on per-shard results, so an
+        # unsharded run and a merged run stay byte-identical.
+        if self.shard is not None:
+            out[K.SHARD] = self.shard
         safe: dict[str, Any] = _json_safe(out)
         return safe
 

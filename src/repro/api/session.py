@@ -44,6 +44,43 @@ def _setup_for(name: str) -> Any:
     return {"setup1": SETUP_1, "setup2": SETUP_2}[name]
 
 
+def _shard_payload(shard: Any) -> "dict[str, Any]":
+    """The ``shard`` section a per-shard :class:`Result` carries."""
+    return {
+        K.SHARD_INDEX: shard.index,
+        K.N_SHARDS: shard.n_shards,
+        K.SHARD_START: shard.start,
+        K.SHARD_STOP: shard.stop,
+        K.SHARD_TOTAL: shard.total,
+    }
+
+
+def _shard_dataset(dataset: Any, shard: Any) -> Any:
+    """The ``[start, stop)`` slice of an in-memory dataset, name preserved.
+
+    A fresh :class:`PairDataset` (never a mutation of the session-cached
+    one); the original name is kept so per-shard reports carry the same run
+    label the merged report will.
+    """
+    n = len(dataset)
+    if shard.total != n:
+        raise ValueError(
+            f"workload.execution.shard.total: the shard plan assumed "
+            f"{shard.total} pairs but the input produced {n}"
+        )
+    from ..simulate.pairs import PairDataset
+
+    planned = list(dataset.planned_edits or [])
+    return PairDataset(
+        name=dataset.name,
+        reads=list(dataset.reads[shard.start : shard.stop]),
+        segments=list(dataset.segments[shard.start : shard.stop]),
+        read_length=dataset.read_length,
+        profile=getattr(dataset, "profile", None),
+        planned_edits=planned[shard.start : shard.stop] if planned else [],
+    )
+
+
 class Session:
     """Execute :class:`~repro.api.workload.Workload` specs against cached state.
 
@@ -242,6 +279,9 @@ class Session:
         from ..core.pipeline import FilteringPipeline
 
         dataset = self._memory_dataset(workload)
+        shard = workload.execution.shard
+        if shard is not None:
+            dataset = _shard_dataset(dataset, shard)
         engine = self.engine_for(workload, dataset.read_length)
         pipeline = FilteringPipeline(
             engine,
@@ -253,6 +293,8 @@ class Session:
             report, workload, read_length=dataset.read_length, filter_name=engine.name
         )
         result.kernel_tier = getattr(engine, "active_kernel_tier", None)
+        if shard is not None:
+            result.shard = _shard_payload(shard)
         return result
 
     # -- streaming path -------------------------------------------------- #
@@ -290,12 +332,29 @@ class Session:
     def _run_streaming(self, workload: Workload) -> Result:
         pipeline = _session_streaming_pipeline(self, workload)
         pairs, name = self._streaming_pairs(workload)
+        shard = workload.execution.shard
+        if shard is not None:
+            import itertools
+
+            pairs = itertools.islice(pairs, shard.start, shard.stop)
         report = pipeline.run_pairs(pairs, name=name, verify=workload.execution.verify)
+        if shard is not None and report.n_pairs != shard.n_pairs:
+            raise ValueError(
+                f"workload.execution.shard: slice [{shard.start}, {shard.stop}) "
+                f"produced {report.n_pairs} pairs (expected {shard.n_pairs}); "
+                f"the input is shorter than the shard plan assumed"
+            )
         stages = self._streaming_stage_rows(pipeline.engine, report)
         result = Result.from_streaming_report(report, workload, stages=stages)
         # The engine is built lazily on the first chunk; an empty input never
         # builds one, in which case no kernel ran at all.
         result.kernel_tier = getattr(pipeline.engine, "active_kernel_tier", None)
+        if shard is not None:
+            payload = _shard_payload(shard)
+            payload[K.CHUNK_DEVICE_TIMINGS] = list(
+                report.metadata.get("chunk_device_timings", [])
+            )
+            result.shard = payload
         return result
 
     @staticmethod
@@ -308,44 +367,17 @@ class Session:
         survivors are the run's accepted total), and the per-stage modelled
         times are the timing model evaluated on the stage's total input,
         exactly the call ``FilterEngine.filter_encoded`` makes in memory.
+        The reconstruction itself is the shared
+        :func:`repro.exec.reduce.streaming_stage_rows`, also used by the
+        cluster shard merge.
         """
-        from ..core.config import EncodingActor
+        from ..exec.reduce import streaming_stage_rows
 
         stage_engines = getattr(engine, "stages", None)
         if not stage_engines:
             return []
         stage_inputs = report.metadata.get("stage_inputs", {})
-        rows: list[dict[str, Any]] = []
-        for index, stage in enumerate(stage_engines):
-            if index not in stage_inputs:
-                break  # an earlier stage rejected everything in every chunk
-            n_input = int(stage_inputs[index])
-            if index + 1 in stage_inputs:
-                n_accepted = int(stage_inputs[index + 1])
-            elif index == len(stage_engines) - 1:
-                n_accepted = int(report.n_accepted)
-            else:
-                n_accepted = 0
-            timing = stage.timing_model.filter_timing(
-                n_input,
-                stage.config.read_length,
-                stage.config.error_threshold,
-                encode_on_device=stage.config.encoding is EncodingActor.DEVICE,
-                n_devices=stage.config.n_devices,
-                host_encode_threads=1,
-            )
-            rows.append(
-                {
-                    K.STAGE: index,
-                    K.FILTER: stage.name,
-                    K.N_INPUT: n_input,
-                    K.N_ACCEPTED: n_accepted,
-                    K.N_REJECTED: n_input - n_accepted,
-                    K.KERNEL_TIME_S: timing.kernel_s,
-                    K.FILTER_TIME_S: timing.filter_s,
-                }
-            )
-        return rows
+        return streaming_stage_rows(stage_engines, stage_inputs, report.n_accepted)
 
     # -- mapping path ---------------------------------------------------- #
     def _run_mapping(self, workload: Workload) -> Result:
@@ -396,6 +428,9 @@ def _session_streaming_pipeline(session: Session, workload: Workload) -> Any:
         collect_decisions=output.collect_decisions,
         collect_chunk_reports=output.include_chunks and output.max_chunk_rows > 0,
         max_chunk_reports=output.max_chunk_rows or None,
+        # Sharded runs record per-chunk device timings so `repro merge` can
+        # replay the stream-overlap accumulation in single-run order.
+        collect_chunk_timings=workload.execution.shard is not None,
         executor=session.executor_for(workload),
         prefetch=workload.execution.prefetch,
         # The engine itself comes from the session cache (see _engine_for

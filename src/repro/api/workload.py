@@ -34,6 +34,7 @@ __all__ = [
     "InputSpec",
     "FilterSpec",
     "ExecutionSpec",
+    "ShardSpec",
     "OutputSpec",
     "Workload",
     "INPUT_KINDS",
@@ -229,6 +230,40 @@ class FilterSpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a partitioned input range (``repro.cluster``).
+
+    A sharded workload runs the half-open pair slice ``[start, stop)`` of an
+    input that totals ``total`` pairs; ``index`` identifies the shard among
+    its ``n_shards`` siblings so ``repro merge`` can check the set is
+    complete, duplicate-free and contiguous before reducing.  Shard files are
+    ordinarily generated by ``repro shard`` (:mod:`repro.cluster.plan`), not
+    written by hand.
+    """
+
+    index: int
+    n_shards: int
+    start: int
+    stop: int
+    total: int
+
+    def __post_init__(self) -> None:
+        _require(self.n_shards >= 1, "execution.shard.n_shards",
+                 "must be at least 1")
+        _require(0 <= self.index < self.n_shards, "execution.shard.index",
+                 f"must be in [0, n_shards); got {self.index} of {self.n_shards}")
+        _require(self.total >= 1, "execution.shard.total", "must be at least 1")
+        _require(0 <= self.start < self.stop, "execution.shard.start",
+                 f"need 0 <= start < stop; got [{self.start}, {self.stop})")
+        _require(self.stop <= self.total, "execution.shard.stop",
+                 f"slice [{self.start}, {self.stop}) exceeds total {self.total}")
+
+    @property
+    def n_pairs(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
 class ExecutionSpec:
     """How the run executes: mode, devices, chunking, verification, backend.
 
@@ -257,10 +292,18 @@ class ExecutionSpec:
     workers: int = 1
     prefetch: bool = False
     kernel_tier: str = "auto"
+    shard: "ShardSpec | None" = None
 
     def __post_init__(self) -> None:
         from ..exec.executor import EXECUTOR_KINDS
         from ..filters.native import KERNEL_TIERS
+
+        if self.shard is not None and not isinstance(self.shard, ShardSpec):
+            object.__setattr__(
+                self,
+                "shard",
+                _build_section(ShardSpec, "execution.shard", self.shard),
+            )
 
         _require(self.mode in EXECUTION_MODES, "execution.mode",
                  f"unknown mode {self.mode!r} (expected one of {list(EXECUTION_MODES)})")
@@ -331,6 +374,38 @@ class Workload:
                 f"'memory' does not support file-backed input kind "
                 f"{self.input.kind!r}; use mode 'streaming' (or 'auto')",
             )
+        shard = self.execution.shard
+        if shard is not None:
+            _require(
+                self.input.kind != "mapping",
+                "execution.shard",
+                "mapping workloads cannot be sharded",
+            )
+            if self.input.kind == "dataset":
+                _require(
+                    shard.total == self.input.n_pairs,
+                    "execution.shard.total",
+                    f"must equal input.n_pairs ({self.input.n_pairs}) "
+                    f"for kind 'dataset'; got {shard.total}",
+                )
+            elif self.input.kind == "pairs":
+                _require(
+                    shard.total == len(self.input.pairs or ()),
+                    "execution.shard.total",
+                    f"must equal the number of pairs "
+                    f"({len(self.input.pairs or ())}); got {shard.total}",
+                )
+            if self.resolved_mode() == "streaming":
+                # Chunk alignment keeps a sharded streaming run's chunking —
+                # and with it n_chunks / n_batches / the stream-overlap model
+                # — identical to the single-run chunking of the same slice,
+                # which the merge identity guarantee depends on.
+                _require(
+                    shard.start % self.execution.chunk_size == 0,
+                    "execution.shard.start",
+                    f"streaming shards must start on a chunk boundary "
+                    f"(chunk_size={self.execution.chunk_size}); got {shard.start}",
+                )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -470,6 +545,15 @@ class Workload:
             # only apply to filtering workloads.
             execution_dict["batch_size"] = self.execution.batch_size
             execution_dict["verify"] = self.execution.verify
+        if self.execution.shard is not None:
+            shard = self.execution.shard
+            execution_dict["shard"] = {
+                "index": shard.index,
+                "n_shards": shard.n_shards,
+                "start": shard.start,
+                "stop": shard.stop,
+                "total": shard.total,
+            }
         return {
             "input": input_dict,
             "filter": {

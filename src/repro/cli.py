@@ -9,7 +9,9 @@ Five commands are installed with the package:
     dispatch to the subcommands below, and ``repro serve`` / ``repro submit``
     run the resident filter-as-a-service daemon and its submission client
     (:mod:`repro.serve`) — ``repro submit workload.toml`` prints JSON
-    byte-identical to ``repro run workload.toml``.
+    byte-identical to ``repro run workload.toml``.  ``repro shard`` /
+    ``repro merge`` split a workload into cluster shard jobs and reduce the
+    per-shard results back into the single-run report (:mod:`repro.cluster`).
 ``repro-filter``
     Filter a simulated candidate-pair pool with any registered filter
     (``--filter``) or cascade (``--cascade``).
@@ -58,6 +60,8 @@ __all__ = [
     "lint_main",
     "serve_main",
     "submit_main",
+    "shard_main",
+    "merge_main",
 ]
 
 
@@ -476,6 +480,23 @@ def submit_main(argv: Sequence[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro shard / repro merge
+# --------------------------------------------------------------------------- #
+def shard_main(argv: Sequence[str] | None = None) -> int:
+    """Split a workload into shard files + cluster job scripts (repro.cluster)."""
+    from .cluster.cli import shard_main as shard_cli_main
+
+    return shard_cli_main(argv)
+
+
+def merge_main(argv: Sequence[str] | None = None) -> int:
+    """Merge per-shard results into the single-run Result (repro.cluster)."""
+    from .cluster.cli import merge_main as merge_cli_main
+
+    return merge_cli_main(argv)
+
+
+# --------------------------------------------------------------------------- #
 # repro (dispatcher)
 # --------------------------------------------------------------------------- #
 _COMMANDS = {
@@ -487,6 +508,8 @@ _COMMANDS = {
     "lint": lint_main,
     "serve": serve_main,
     "submit": submit_main,
+    "shard": shard_main,
+    "merge": merge_main,
 }
 
 
@@ -494,7 +517,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """The ``repro`` umbrella command: dispatch to a subcommand."""
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {run,filter,map,stream,experiment,lint,serve,submit} ...\n\n"
+        "usage: repro {run,filter,map,stream,experiment,lint,serve,submit,"
+        "shard,merge} ...\n\n"
         "  run         execute a declarative TOML/JSON workload file\n"
         "  filter      filter a simulated candidate-pair pool\n"
         "  map         run the mrFAST-like mapper on simulated reads\n"
@@ -503,6 +527,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "  lint        check the tree against the repo's invariant rules\n"
         "  serve       run the resident filter-as-a-service daemon\n"
         "  submit      send a workload to a live daemon (same JSON as run)\n"
+        "  shard       split a workload into N shard files + cluster job scripts\n"
+        "  merge       merge per-shard results into the single-run report\n"
     )
     if not argv:
         print(usage, file=sys.stderr)

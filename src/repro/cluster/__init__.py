@@ -1,0 +1,49 @@
+"""Cluster-scale fan-out: shard a workload, run shards anywhere, merge back.
+
+The package turns one declarative :class:`~repro.api.Workload` into an
+embarrassingly-parallel job set and back:
+
+* :mod:`repro.cluster.plan` — :func:`plan_shards` splits the input range into
+  N contiguous shard workloads (:class:`ShardPlan`); :func:`write_plan`
+  materialises shard files, a manifest and job scripts.
+* :mod:`repro.cluster.jobgen` — SLURM array / local-shell script generation
+  and :func:`run_local`, the subprocess-backed "virtual cluster".
+* :mod:`repro.cluster.merge` — :func:`merge_files` /
+  :func:`merge_result_dicts` reduce per-shard Results into one Result
+  byte-identical to an unsharded single-node run.
+* :mod:`repro.cluster.cli` — the ``repro shard`` / ``repro merge`` commands.
+
+Every shard is an ordinary ``repro run`` on a self-contained workload file,
+so anything that can run the CLI — a SLURM array task, a container, a plain
+shell loop — is a valid worker.
+"""
+
+from .errors import (
+    ClusterError,
+    ShardFileError,
+    ShardMismatchError,
+    ShardPlanError,
+    ShardSetError,
+)
+from .jobgen import local_script, run_local, shard_stem, slurm_script
+from .merge import load_shard_result, merge_files, merge_result_dicts
+from .plan import ShardPlan, count_pairs, plan_shards, write_plan
+
+__all__ = [
+    "ClusterError",
+    "ShardPlanError",
+    "ShardFileError",
+    "ShardMismatchError",
+    "ShardSetError",
+    "ShardPlan",
+    "count_pairs",
+    "plan_shards",
+    "write_plan",
+    "shard_stem",
+    "local_script",
+    "slurm_script",
+    "run_local",
+    "load_shard_result",
+    "merge_result_dicts",
+    "merge_files",
+]

@@ -1,0 +1,151 @@
+"""``repro shard`` / ``repro merge`` — the cluster fan-out front ends.
+
+``repro shard workload.toml --shards 8`` splits the workload into eight
+self-contained shard workload files plus a manifest and job scripts
+(``run_local.sh`` always; ``submit_slurm.sh`` with ``--slurm``).  Each shard
+is an ordinary ``repro run`` input.  ``--run`` executes the plan immediately
+on the local virtual cluster (subprocesses) and prints the merged Result.
+
+``repro merge out/shard-*.json`` reduces the per-shard Result files into one
+Result whose JSON is byte-identical to an unsharded ``repro run`` of the
+original workload (see :mod:`repro.cluster.merge` for the discipline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["shard_main", "merge_main"]
+
+
+def shard_main(argv: "Sequence[str] | None" = None) -> int:
+    """Plan shard workload files + job scripts (optionally run them now)."""
+    from ..api.workload import Workload
+    from .errors import ClusterError
+    from .jobgen import run_local
+    from .merge import merge_files
+    from .plan import plan_shards, write_plan
+
+    parser = argparse.ArgumentParser(
+        prog="repro shard",
+        description=(
+            "Split a declarative workload into N self-contained shard "
+            "workload files plus SLURM/local job scripts; merge the per-shard "
+            "results with `repro merge`"
+        ),
+    )
+    parser.add_argument("workload", help="path to a .toml or .json workload file")
+    parser.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shards (each a contiguous, non-empty input slice)",
+    )
+    parser.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="plan directory (default: <workload stem>.shards next to the workload)",
+    )
+    parser.add_argument(
+        "--slurm", action="store_true",
+        help="also write submit_slurm.sh (a SLURM array submission)",
+    )
+    parser.add_argument(
+        "--run", action="store_true",
+        help="run the plan now on the local virtual cluster (subprocesses) "
+        "and print the merged Result JSON",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="concurrent shard subprocesses with --run (default: 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock limit with --run (default: none)",
+    )
+    args = parser.parse_args(argv)
+
+    workload_path = Path(args.workload)
+    out_dir = (
+        Path(args.out_dir)
+        if args.out_dir is not None
+        else workload_path.parent / f"{workload_path.stem}.shards"
+    )
+    try:
+        workload = Workload.from_file(workload_path)
+        plan = plan_shards(workload, args.shards)
+        paths = write_plan(plan, out_dir, slurm=args.slurm)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(str(exc))
+
+    print(
+        f"planned {plan.n_shards} shard(s) over {plan.total} pairs "
+        f"({plan.mode} mode) in {out_dir}",
+        file=sys.stderr,
+    )
+    for label, key in (
+        ("manifest", "manifest"),
+        ("local runner", "local_script"),
+        ("slurm submission", "slurm_script"),
+    ):
+        if paths[key] is not None:
+            print(f"  {label}: {paths[key]}", file=sys.stderr)
+
+    if not args.run:
+        print(
+            f"run with: sh {paths['local_script']}  "
+            f"then: repro merge {paths['results_dir']}/shard-*.json",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        result_files = run_local(
+            paths["shards"], paths["results_dir"],
+            jobs=args.jobs, timeout_s=args.timeout,
+        )
+        merged = merge_files(result_files, manifest=paths["manifest"])
+    except ClusterError as exc:
+        parser.error(str(exc))
+    sys.stdout.write(merged.to_json())
+    return 0
+
+
+def merge_main(argv: "Sequence[str] | None" = None) -> int:
+    """Merge per-shard Result files into the single-run Result JSON."""
+    from .errors import ClusterError
+    from .merge import merge_files
+
+    parser = argparse.ArgumentParser(
+        prog="repro merge",
+        description=(
+            "Merge per-shard Result JSON files into one Result byte-identical "
+            "to an unsharded `repro run` of the same workload"
+        ),
+    )
+    parser.add_argument(
+        "results", nargs="+", metavar="SHARD_RESULT",
+        help="per-shard Result JSON files (e.g. plan/out/shard-*.json)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="plan manifest.json; completeness is checked against it first, "
+        "so missing shards are reported by their expected result path",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the merged JSON report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        merged = merge_files(args.results, manifest=args.manifest)
+    except (ClusterError, OSError, ValueError) as exc:
+        parser.error(str(exc))
+    sys.stdout.write(merged.to_json())
+    if args.out:
+        try:
+            Path(args.out).write_text(merged.to_json())
+        except OSError as exc:
+            parser.error(f"--out: {exc}")
+    return 0

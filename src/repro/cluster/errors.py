@@ -1,0 +1,38 @@
+"""Typed errors of the cluster subsystem.
+
+All subclass :class:`ValueError` so they follow the workload error
+convention (``repro shard`` / ``repro merge`` surface them as
+``parser.error`` messages, and programmatic callers can catch either the
+specific class or plain ``ValueError``).  Messages always name the offending
+file, field or shard index.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClusterError",
+    "ShardPlanError",
+    "ShardFileError",
+    "ShardMismatchError",
+    "ShardSetError",
+]
+
+
+class ClusterError(ValueError):
+    """Base class for every shard-plan / shard-merge failure."""
+
+
+class ShardPlanError(ClusterError):
+    """The workload cannot be sharded as requested (kind, count, alignment)."""
+
+
+class ShardFileError(ClusterError):
+    """One shard result file is unreadable, not JSON, or not a shard result."""
+
+
+class ShardMismatchError(ClusterError):
+    """Shard results disagree (schema version, workload, filters, labels)."""
+
+
+class ShardSetError(ClusterError):
+    """The shard set is wrong as a whole: duplicates, gaps, bad partition."""

@@ -244,9 +244,13 @@ class FilterCascade:
         per-stage modelled times are the timing model evaluated once on each
         stage's total input (exactly the call the serial sweep makes) and
         ``n_batches`` is the serial device-split count recomputed from those
-        totals — so the result is byte-identical to ``executor=None``.
+        totals — so the result is byte-identical to ``executor=None``.  The
+        reduction itself is the shared
+        :func:`repro.exec.reduce.cascade_accounts_from_totals`, also used by
+        the cluster shard merge.
         """
-        from ..exec.fanout import expected_n_batches, fan_out_cascade
+        from ..exec.fanout import fan_out_cascade
+        from ..exec.reduce import cascade_accounts_from_totals
 
         wall_start = time.perf_counter()
         estimates, accepted, undefined, stage_totals = fan_out_cascade(
@@ -254,41 +258,8 @@ class FilterCascade:
         )
         wall_clock = time.perf_counter() - wall_start
 
-        accounts: list[CascadeStageAccount] = []
-        encode = prep = transfer = kernel = 0.0
-        n_batches = 0
-        for stage_index, stage in enumerate(self.stages):
-            n_input, n_accepted = stage_totals.get(stage_index, (0, 0))
-            if n_input == 0:
-                break  # every share went extinct before this stage (serial: break)
-            timing = stage.timing_model.filter_timing(
-                n_input,
-                stage.config.read_length,
-                stage.config.error_threshold,
-                encode_on_device=stage.config.encoding is EncodingActor.DEVICE,
-                n_devices=stage.config.n_devices,
-                host_encode_threads=1,
-            )
-            accounts.append(
-                CascadeStageAccount(
-                    stage=stage_index,
-                    filter_name=stage.name,
-                    n_input=n_input,
-                    n_accepted=n_accepted,
-                    n_rejected=n_input - n_accepted,
-                    kernel_time_s=timing.kernel_s,
-                    filter_time_s=timing.filter_s,
-                    wall_clock_s=0.0,
-                )
-            )
-            encode += timing.encode_s
-            prep += timing.host_prep_s
-            transfer += timing.transfer_s
-            kernel += timing.kernel_s
-            n_batches += expected_n_batches(stage.config, n_input)
-
-        timing = FilterTiming(
-            encode_s=encode, host_prep_s=prep, transfer_s=transfer, kernel_s=kernel
+        accounts, timing, n_batches = cascade_accounts_from_totals(
+            self.stages, stage_totals
         )
         return CascadeRunResult(
             accepted=accepted,

@@ -37,6 +37,13 @@ from .executor import (
     wants_word_arrays,
 )
 from .fanout import expected_n_batches, fan_out_cascade, fan_out_engine, share_slices
+from .reduce import (
+    cascade_accounts_from_totals,
+    modelled_verification_times,
+    stream_overlap_times,
+    streaming_stage_rows,
+    total_timing,
+)
 from .shared_batch import SharedBatchHandle, attach_batch, export_batch
 from .tasks import ShareOutcome
 
@@ -57,4 +64,9 @@ __all__ = [
     "expected_n_batches",
     "fan_out_engine",
     "fan_out_cascade",
+    "total_timing",
+    "cascade_accounts_from_totals",
+    "streaming_stage_rows",
+    "stream_overlap_times",
+    "modelled_verification_times",
 ]

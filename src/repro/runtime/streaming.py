@@ -51,10 +51,14 @@ from .._defaults import DEFAULT_CHUNK_SIZE, VERIFICATION_COST_PER_PAIR_S
 from ..align.verification import Verifier
 from ..core.config import EncodingActor
 from ..core.pipeline import resolve_error_threshold
+from ..exec.reduce import (
+    modelled_verification_times,
+    stream_overlap_times,
+    total_timing,
+)
 from ..filters.base import PreAlignmentFilter
 from ..genomics.encoding import EncodedPairBatch
 from ..gpusim.multi_gpu import MultiGpuDispatcher, split_evenly
-from ..gpusim.stream import StreamPool
 from ..gpusim.timing import FilterTiming
 from .sources import (
     ensure_pairs_path,
@@ -258,6 +262,12 @@ class StreamingPipeline:
         Keep at most this many leading :class:`ChunkReport` rows (``None`` =
         unlimited).  ``StreamingReport.n_chunks`` always counts every chunk,
         so a truncated report is detectable (``n_chunks > len(chunks)``).
+    collect_chunk_timings:
+        Record every chunk's per-device ``[transfer_s, kernel_s, host_s]``
+        stream-model triples on ``report.metadata["chunk_device_timings"]``.
+        Sharded runs (:mod:`repro.cluster`) enable this so ``repro merge``
+        can replay the stream-overlap accumulation in the exact single-run
+        order; off by default (O(n_chunks) extra state).
     engine_kwargs:
         Extra :class:`~repro.engine.FilterEngine` constructor arguments used
         when the engine is built lazily from a name/class/list spec (e.g.
@@ -287,6 +297,7 @@ class StreamingPipeline:
         collect_decisions: bool = True,
         collect_chunk_reports: bool = True,
         max_chunk_reports: int | None = None,
+        collect_chunk_timings: bool = False,
         engine_kwargs: dict | None = None,
         executor=None,
         prefetch: bool = False,
@@ -304,6 +315,7 @@ class StreamingPipeline:
         self.collect_decisions = bool(collect_decisions)
         self.collect_chunk_reports = bool(collect_chunk_reports)
         self.max_chunk_reports = max_chunk_reports
+        self.collect_chunk_timings = bool(collect_chunk_timings)
         self.engine_kwargs = dict(engine_kwargs or {})
         self.executor = executor
         self.prefetch = bool(prefetch)
@@ -611,39 +623,13 @@ class StreamingPipeline:
     def _total_timing(self, engine, n_pairs: int, stage_inputs: dict) -> FilterTiming:
         """Evaluate the analytic model on the final totals.
 
-        These are exactly the calls the in-memory path makes
-        (``FilterEngine.filter_lists`` once, or ``FilterCascade`` once per
-        stage on that stage's total input), which is what makes the streaming
-        totals byte-identical to the in-memory report.
+        Delegates to :func:`repro.exec.reduce.total_timing` — the shared
+        totals-based reduction also used by the parallel cascade and the
+        cluster shard merge, which is what makes the streaming totals
+        byte-identical to the in-memory report (and a merged sharded run
+        byte-identical to both).
         """
-        if engine is None or n_pairs == 0:
-            return FilterTiming(encode_s=0.0, host_prep_s=0.0, transfer_s=0.0, kernel_s=0.0)
-        if hasattr(engine, "stages"):
-            encode = prep = transfer = kernel = 0.0
-            for stage_index, stage in enumerate(engine.stages):
-                timing = stage.timing_model.filter_timing(
-                    stage_inputs.get(stage_index, 0),
-                    stage.config.read_length,
-                    stage.config.error_threshold,
-                    encode_on_device=stage.config.encoding is EncodingActor.DEVICE,
-                    n_devices=stage.config.n_devices,
-                    host_encode_threads=1,
-                )
-                encode += timing.encode_s
-                prep += timing.host_prep_s
-                transfer += timing.transfer_s
-                kernel += timing.kernel_s
-            return FilterTiming(
-                encode_s=encode, host_prep_s=prep, transfer_s=transfer, kernel_s=kernel
-            )
-        return engine.timing_model.filter_timing(
-            n_pairs,
-            engine.config.read_length,
-            engine.config.error_threshold,
-            encode_on_device=engine.config.encoding is EncodingActor.DEVICE,
-            n_devices=engine.config.n_devices,
-            host_encode_threads=1,
-        )
+        return total_timing(engine, n_pairs, stage_inputs)
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -673,6 +659,7 @@ class StreamingPipeline:
         device_transfer: list[float] = []
         device_kernel: list[float] = []
         host_time = 0.0
+        chunk_timings: list[list[list[float]]] = []
 
         for chunk_index, (reads, segments, encoded) in enumerate(
             self._iter_prepared(pairs)
@@ -712,6 +699,16 @@ class StreamingPipeline:
                 device_transfer[device_index] += timing.transfer_s  # reprolint: disable=partition-invariant-reduction
                 device_kernel[device_index] += timing.kernel_s
                 host_time += timing.encode_s + timing.host_prep_s  # reprolint: disable=partition-invariant-reduction
+            if self.collect_chunk_timings:
+                # The same per-device semantic quantities as the accumulation
+                # above, serialised per chunk so a shard merge can replay the
+                # accumulation in single-run order (same waiver rationale).
+                chunk_timings.append(
+                    [
+                        [timing.transfer_s, timing.kernel_s, timing.encode_s + timing.host_prep_s]  # reprolint: disable=partition-invariant-reduction
+                        for timing in share_timings
+                    ]
+                )
             chunk_kernel = MultiGpuDispatcher.combined_kernel_time_from_timings(
                 share_timings
             )
@@ -752,26 +749,18 @@ class StreamingPipeline:
         # Model-scale verification times; identical arithmetic to the
         # in-memory pipeline (count x per-pair cost, then the quadratic
         # read-length factor).
-        verification_time = n_accepted * self.verification_cost_per_pair_s
-        no_filter_time = n_pairs * self.verification_cost_per_pair_s
-        length_factor = (read_length / 100.0) ** 2 if read_length else 0.0
-        verification_time *= length_factor
-        no_filter_time *= length_factor
+        verification_time, no_filter_time = modelled_verification_times(
+            n_accepted, n_pairs, read_length, self.verification_cost_per_pair_s
+        )
 
         # Materialise the stream model: one stream per device with its
         # accumulated H2D and kernel work.  Concurrent streams overlap, so
         # the pool completes at the busiest device (makespan); serial
         # execution pays every operation back-to-back (serialized time).
         n_devices = engine.n_devices if engine is not None else self._configured_devices()
-        pool = StreamPool()
-        for device_index, (transfer_s, kernel_s) in enumerate(
-            zip(device_transfer, device_kernel)
-        ):
-            stream = pool.create()
-            stream.enqueue("prefetch", f"gpu{device_index}/h2d", transfer_s)
-            stream.enqueue("kernel", f"gpu{device_index}/filter", kernel_s)
-        serial_time = host_time + pool.serialized_time_s
-        overlapped_time = host_time / max(1, n_devices) + pool.makespan_s
+        serial_time, overlapped_time = stream_overlap_times(
+            device_transfer, device_kernel, host_time, n_devices
+        )
 
         def _concat(parts, dtype):
             if not self.collect_decisions:
@@ -812,6 +801,11 @@ class StreamingPipeline:
                 "executor": getattr(self.executor, "kind", "serial"),
                 "workers": getattr(self.executor, "workers", 1),
                 "prefetch": self.prefetch,
+                **(
+                    {"chunk_device_timings": chunk_timings}
+                    if self.collect_chunk_timings
+                    else {}
+                ),
             },
         )
 

@@ -12,6 +12,7 @@ canonical report serialisation — byte-identical to a local
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from pathlib import Path
@@ -26,8 +27,32 @@ __all__ = [
     "QueueFullError",
     "ShuttingDownError",
     "ServeClient",
+    "backoff_schedule",
     "load_workload_mapping",
 ]
+
+
+def backoff_schedule(
+    attempts: int,
+    backoff_s: float = 0.05,
+    client_id: "str | None" = None,
+) -> "list[float]":
+    """The ``queue_full`` retry delays for a client: jittered linear backoff.
+
+    ``delay[k] = backoff_s * min(k + 1, 8) * (0.5 + u_k)`` with ``u_k`` drawn
+    from a PRNG seeded by ``client_id`` — deterministic per client (the
+    schedule is reproducible and unit-testable) yet different across clients,
+    so a burst of rejected submitters spreads out instead of re-hitting the
+    daemon in lockstep.  Returns ``attempts - 1`` delays (no sleep after the
+    final attempt).
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be at least 1")
+    rng = random.Random(f"repro-serve-backoff:{client_id or ''}")
+    return [
+        backoff_s * min(k + 1, 8) * (0.5 + rng.random())
+        for k in range(attempts - 1)
+    ]
 
 
 class ServeError(RuntimeError):
@@ -200,15 +225,20 @@ class ServeClient:
         workload: "Mapping[str, Any] | Workload | str | Path",
         attempts: int = 10,
         backoff_s: float = 0.05,
+        max_elapsed_s: float = 30.0,
     ) -> "tuple[dict[str, Any], int]":
         """Run with bounded retries on ``queue_full`` backpressure.
 
         Returns ``(result, rejections)`` — how many times the daemon pushed
-        back before accepting.  Raises :class:`QueueFullError` once
-        ``attempts`` submissions have all been rejected.
+        back before accepting.  Retry delays come from
+        :func:`backoff_schedule` (jitter seeded by ``client_id``, so
+        simultaneously-rejected clients don't retry in lockstep).  Raises
+        :class:`QueueFullError` once ``attempts`` submissions have all been
+        rejected, or as soon as the next sleep would push the total retry
+        time past ``max_elapsed_s``.
         """
-        if attempts < 1:
-            raise ValueError("attempts must be at least 1")
+        delays = backoff_schedule(attempts, backoff_s, self.client_id)
+        started = time.monotonic()
         rejections = 0
         while True:
             try:
@@ -217,7 +247,10 @@ class ServeClient:
                 rejections += 1
                 if rejections >= attempts:
                     raise
-                time.sleep(backoff_s * min(rejections, 8))
+                delay = delays[rejections - 1]
+                if time.monotonic() - started + delay > max_elapsed_s:
+                    raise
+                time.sleep(delay)
 
     def status(self) -> "dict[str, Any]":
         """The daemon's accounting payload (queue occupancy, per-client totals)."""

@@ -1,0 +1,99 @@
+"""The serve client's retry backoff: deterministic jitter + max-elapsed cap."""
+
+import pytest
+
+from repro.serve.client import QueueFullError, ServeClient, backoff_schedule
+
+
+class TestBackoffSchedule:
+    def test_deterministic_per_client(self):
+        assert backoff_schedule(8, 0.05, "client-a") == backoff_schedule(8, 0.05, "client-a")
+
+    def test_differs_across_clients(self):
+        assert backoff_schedule(8, 0.05, "client-a") != backoff_schedule(8, 0.05, "client-b")
+
+    def test_length_and_bounds(self):
+        base = 0.05
+        delays = backoff_schedule(12, base, "client-a")
+        assert len(delays) == 11  # no sleep after the final attempt
+        for k, delay in enumerate(delays):
+            factor = min(k + 1, 8)  # linear growth, capped
+            assert base * factor * 0.5 <= delay <= base * factor * 1.5
+
+    def test_single_attempt_has_no_delays(self):
+        assert backoff_schedule(1, 0.05, None) == []
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            backoff_schedule(0)
+
+
+class _FakeTime:
+    """Deterministic clock: sleep() advances monotonic()."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture()
+def rejecting_client(monkeypatch):
+    client = ServeClient(client_id="test-client")
+    clock = _FakeTime()
+    monkeypatch.setattr("repro.serve.client.time", clock)
+    calls = {"n": 0}
+
+    def always_full(workload):
+        calls["n"] += 1
+        raise QueueFullError("queue_full", "request queue is full")
+
+    monkeypatch.setattr(client, "run", always_full)
+    return client, clock, calls
+
+
+class TestRunWithRetry:
+    def test_sleeps_follow_the_schedule_then_raises(self, rejecting_client):
+        client, clock, calls = rejecting_client
+        with pytest.raises(QueueFullError):
+            client.run_with_retry("wl.toml", attempts=4, backoff_s=0.05)
+        assert calls["n"] == 4
+        assert clock.sleeps == backoff_schedule(4, 0.05, "test-client")[:3]
+
+    def test_max_elapsed_cap_stops_retrying_early(self, rejecting_client):
+        client, clock, calls = rejecting_client
+        # Every scheduled delay exceeds the cap, so no sleep ever happens.
+        with pytest.raises(QueueFullError):
+            client.run_with_retry(
+                "wl.toml", attempts=10, backoff_s=1.0, max_elapsed_s=0.01
+            )
+        assert calls["n"] == 1
+        assert clock.sleeps == []
+
+    def test_returns_result_with_rejection_count(self, monkeypatch):
+        client = ServeClient(client_id="test-client")
+        clock = _FakeTime()
+        monkeypatch.setattr("repro.serve.client.time", clock)
+        outcomes = [
+            QueueFullError("queue_full", "full"),
+            QueueFullError("queue_full", "full"),
+            {"summary": {"n_pairs": 1}},
+        ]
+
+        def run(workload):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "run", run)
+        result, rejections = client.run_with_retry("wl.toml", attempts=5)
+        assert result == {"summary": {"n_pairs": 1}}
+        assert rejections == 2
+        assert len(clock.sleeps) == 2
