@@ -36,6 +36,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",
+            "repro-plan=repro.cli:plan_main",
             "repro-filter=repro.cli:filter_main",
             "repro-map=repro.cli:map_main",
             "repro-experiment=repro.cli:experiment_main",

@@ -41,6 +41,34 @@ DEFAULT_SEEDING_K = 12
 #: Cap on candidate locations per read when seeding real read files.
 DEFAULT_MAX_CANDIDATES_PER_READ = 2_048
 
+#: Calibrated per-pair filtration cost of each registered filter (seconds per
+#: 100 bp pair), derived from the measured BENCH_encode_once throughputs on
+#: the reference host (reads/s at 20,000 pairs, e=5).  Like
+#: :data:`VERIFICATION_COST_PER_PAIR_S` these are deterministic model
+#: constants, not measurements taken at run time: the adaptive planner
+#: (:mod:`repro.planner`) combines them with the *measured* per-filter
+#: accept rates of a probe prefix, so the chosen plan is byte-identical
+#: across hosts, backends and worker counts.
+FILTER_COST_PER_PAIR_S: "dict[str, float]" = {
+    "gatekeeper-gpu": 4.028e-6,   # 248,283 reads/s
+    "gatekeeper": 3.915e-6,       # 255,416 reads/s
+    "shd": 5.032e-6,              # 198,711 reads/s
+    "magnet": 31.482e-6,          # 31,764 reads/s
+    "shouji": 2.738e-6,           # 365,172 reads/s
+    "sneakysnake": 22.658e-6,     # 44,135 reads/s
+}
+
+#: Probe prefix size of the adaptive cascade planner (``filter = "auto"``).
+DEFAULT_PLANNER_SAMPLE_PAIRS = 2_048
+
+#: Planner false-accept budget: the accept-rate excess (as a fraction of the
+#: probe) a candidate cascade may show over the tightest candidate and still
+#: be admissible.
+DEFAULT_PLANNER_FALSE_ACCEPT_BUDGET = 0.01
+
+#: Longest candidate cascade the planner searches by default.
+DEFAULT_PLANNER_MAX_STAGES = 2
+
 __all__ = [
     "DEFAULT_READ_LENGTH",
     "DEFAULT_ERROR_THRESHOLD",
@@ -50,4 +78,8 @@ __all__ = [
     "VERIFICATION_COST_PER_PAIR_S",
     "DEFAULT_SEEDING_K",
     "DEFAULT_MAX_CANDIDATES_PER_READ",
+    "FILTER_COST_PER_PAIR_S",
+    "DEFAULT_PLANNER_SAMPLE_PAIRS",
+    "DEFAULT_PLANNER_FALSE_ACCEPT_BUDGET",
+    "DEFAULT_PLANNER_MAX_STAGES",
 ]

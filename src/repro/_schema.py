@@ -131,6 +131,43 @@ SHARD_KEYS = frozenset({
 })
 
 # --------------------------------------------------------------------------- #
+# Plan section (repro.planner: the frozen plan pinned into an ``auto`` run)
+# --------------------------------------------------------------------------- #
+PLAN = "plan"
+PLANNER_VERSION = "planner_version"
+CASCADE = "cascade"
+PROBE_PAIRS = "probe_pairs"
+PROBE_COST_S = "probe_cost_s"
+EST_COST_S = "est_cost_s"
+EST_ACCEPTS = "est_accepts"
+PROBE_ACCEPTS = "probe_accepts"
+CHOSEN = "chosen"
+ADMISSIBLE = "admissible"
+# [filter.planner] knob spellings (spec vocabulary, shared with workload.toml)
+SAMPLE_PAIRS = "sample_pairs"
+FALSE_ACCEPT_BUDGET = "false_accept_budget"
+MAX_STAGES = "max_stages"
+CANDIDATES = "candidates"
+
+#: Keys of the frozen ``filter.plan`` record a resolved ``auto`` workload
+#: carries (and of the candidate rows inside it).
+PLAN_KEYS = frozenset({
+    PLANNER_VERSION,
+    CASCADE,
+    PROBE_PAIRS,
+    PROBE_COST_S,
+    EST_COST_S,
+    EST_ACCEPTS,
+    PROBE_ACCEPTS,
+    CHOSEN,
+    ADMISSIBLE,
+    SAMPLE_PAIRS,
+    FALSE_ACCEPT_BUDGET,
+    MAX_STAGES,
+    CANDIDATES,
+})
+
+# --------------------------------------------------------------------------- #
 # Serve protocol envelope (repro.serve request/response wire format)
 # --------------------------------------------------------------------------- #
 SCHEMA_VERSION_KEY = "schema_version"
@@ -244,6 +281,18 @@ LINT_ENFORCED_KEYS = frozenset({
     OVERLAPPED_TIME_S,
     OVERLAP_SPEEDUP,
     N_CHUNKS,
+    # Plan-record keys with a single unambiguous meaning.  The spec-vocabulary
+    # spellings (``plan``, ``cascade``, ``sample_pairs``, ``false_accept_budget``,
+    # ``max_stages``, ``candidates``) stay writable as plain literals, like
+    # ``shard`` / ``n_pairs`` above.
+    PLANNER_VERSION,
+    PROBE_PAIRS,
+    PROBE_COST_S,
+    EST_COST_S,
+    EST_ACCEPTS,
+    PROBE_ACCEPTS,
+    CHOSEN,
+    ADMISSIBLE,
 })
 
 __all__ = [
@@ -284,6 +333,21 @@ __all__ = [
     "SHARD_TOTAL",
     "CHUNK_DEVICE_TIMINGS",
     "SHARD_KEYS",
+    "PLAN",
+    "PLANNER_VERSION",
+    "CASCADE",
+    "PROBE_PAIRS",
+    "PROBE_COST_S",
+    "EST_COST_S",
+    "EST_ACCEPTS",
+    "PROBE_ACCEPTS",
+    "CHOSEN",
+    "ADMISSIBLE",
+    "SAMPLE_PAIRS",
+    "FALSE_ACCEPT_BUDGET",
+    "MAX_STAGES",
+    "CANDIDATES",
+    "PLAN_KEYS",
     "SCHEMA_VERSION_KEY",
     "OP",
     "OK",

@@ -12,6 +12,7 @@ from .determinism import DeterminismHazardsRule
 from .encode_once import EncodeOnceRule
 from .facade_imports import DeprecatedFacadeImportsRule
 from .native_parity import NativeKernelParityRule
+from .planner_pinned import PlannerPinnedBeforeFanoutRule
 from .reduction import PartitionInvariantReductionRule
 from .schema_keys import ResultSchemaKeysRule
 from .shm_lifecycle import ShmLifecycleRule
@@ -26,6 +27,7 @@ __all__ = [
     "ResultSchemaKeysRule",
     "DeprecatedFacadeImportsRule",
     "NativeKernelParityRule",
+    "PlannerPinnedBeforeFanoutRule",
 ]
 
 #: The default rule set, in reporting order.
@@ -37,6 +39,7 @@ ALL_RULES: "tuple[Rule, ...]" = (
     ResultSchemaKeysRule(),
     DeprecatedFacadeImportsRule(),
     NativeKernelParityRule(),
+    PlannerPinnedBeforeFanoutRule(),
 )
 
 RULES_BY_ID: "dict[str, Rule]" = {rule.rule_id: rule for rule in ALL_RULES}

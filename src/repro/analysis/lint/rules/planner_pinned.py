@@ -1,0 +1,98 @@
+"""``planner-pinned-before-fanout``: resolve ``filter = "auto"`` before fan-out.
+
+The adaptive planner (PR 10) plans exactly once — in ``Session.run`` or
+``plan_shards`` — and pins the resolved cascade into the workload before any
+parallelism sees it.  A fan-out constructed while the :class:`FilterSpec` is
+still the unresolved ``"auto"`` sentinel would let each worker (or each
+cluster shard) plan independently, and two probes over different prefixes can
+legally disagree — silently breaking the byte-identical Result contract.
+
+The contract is therefore structural: inside ``repro.api`` and
+``repro.cluster``, any function that constructs an executor fan-out
+(``create_executor(...)``) or a shard plan (``ShardPlan(...)``) must first —
+lexically earlier in the same function body — resolve or guard the workload
+via ``ensure_resolved(...)`` (:mod:`repro.planner.guard`) or
+``resolve_workload(...)`` (:mod:`repro.planner`).  Nested function
+definitions are checked independently: a guard in the enclosing function
+does not cover a closure that fans out later.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule, Violation, terminal_name
+
+__all__ = ["PlannerPinnedBeforeFanoutRule"]
+
+#: Call targets that begin a fan-out: per-pair work is about to be
+#: partitioned across workers or shard files.
+_FANOUT_CALLS = frozenset({"create_executor", "ShardPlan"})
+
+#: Call targets that prove the workload's filter is no longer ``"auto"``.
+_RESOLVE_CALLS = frozenset({"ensure_resolved", "resolve_workload"})
+
+
+def _body_calls(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> "list[ast.Call]":
+    """Calls in ``func``'s own body, in source order, skipping nested defs."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = list(reversed(func.body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+class PlannerPinnedBeforeFanoutRule(Rule):
+    rule_id = "planner-pinned-before-fanout"
+    contract = (
+        "fan-out sites (create_executor / ShardPlan) in repro.api and "
+        "repro.cluster resolve or guard filter='auto' first (ensure_resolved "
+        "/ resolve_workload), so planning happens once, never per worker"
+    )
+
+    def applies_to(self, mpath: str) -> bool:
+        return mpath.startswith("repro/api/") or mpath.startswith("repro/cluster/")
+
+    def check(self, tree: ast.Module, path: str) -> "list[Violation]":
+        findings: list[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(node, path))
+        return findings
+
+    def _check_function(
+        self, func: "ast.FunctionDef | ast.AsyncFunctionDef", path: str
+    ) -> "list[Violation]":
+        findings: list[Violation] = []
+        resolved_at: "tuple[int, int] | None" = None
+        for call in _body_calls(func):
+            name = terminal_name(call.func)
+            if name in _RESOLVE_CALLS:
+                if resolved_at is None:
+                    resolved_at = (call.lineno, call.col_offset)
+                continue
+            if name not in _FANOUT_CALLS:
+                continue
+            guarded = resolved_at is not None and resolved_at < (
+                call.lineno,
+                call.col_offset,
+            )
+            if not guarded:
+                findings.append(
+                    self.violation(
+                        call,
+                        path,
+                        f"{name}(...) fans out before the workload's filter "
+                        "is provably resolved; call ensure_resolved() or "
+                        "resolve_workload() earlier in this function so a "
+                        "filter='auto' workload is planned once, not per "
+                        "worker or per shard",
+                    )
+                )
+        return findings

@@ -41,6 +41,7 @@ class ResultSchemaKeysRule(Rule):
             mpath.startswith("repro/api/")
             or mpath.startswith("repro/engine/")
             or mpath.startswith("repro/serve/")
+            or mpath.startswith("repro/planner/")
         )
 
     @staticmethod

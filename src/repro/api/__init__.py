@@ -57,6 +57,7 @@ from .workload import (
     FilterSpec,
     InputSpec,
     OutputSpec,
+    PlannerSpec,
     Workload,
 )
 
@@ -71,6 +72,7 @@ __all__ = [
     "Workload",
     "InputSpec",
     "FilterSpec",
+    "PlannerSpec",
     "ExecutionSpec",
     "OutputSpec",
     "INPUT_KINDS",

@@ -15,8 +15,12 @@ from .._defaults import (
     DEFAULT_ERROR_THRESHOLD,
     DEFAULT_MAX_CANDIDATES_PER_READ,
     DEFAULT_N_PAIRS,
+    DEFAULT_PLANNER_FALSE_ACCEPT_BUDGET,
+    DEFAULT_PLANNER_MAX_STAGES,
+    DEFAULT_PLANNER_SAMPLE_PAIRS,
     DEFAULT_READ_LENGTH,
     DEFAULT_SEEDING_K,
+    FILTER_COST_PER_PAIR_S,
     VERIFICATION_COST_PER_PAIR_S,
 )
 
@@ -29,4 +33,8 @@ __all__ = [
     "VERIFICATION_COST_PER_PAIR_S",
     "DEFAULT_SEEDING_K",
     "DEFAULT_MAX_CANDIDATES_PER_READ",
+    "FILTER_COST_PER_PAIR_S",
+    "DEFAULT_PLANNER_SAMPLE_PAIRS",
+    "DEFAULT_PLANNER_FALSE_ACCEPT_BUDGET",
+    "DEFAULT_PLANNER_MAX_STAGES",
 ]

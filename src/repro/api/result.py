@@ -153,6 +153,18 @@ class Result:
     kernel_tier: str | None = None
     schema_version: int = SCHEMA_VERSION
 
+    @property
+    def plan(self) -> dict[str, Any] | None:
+        """The planner's frozen plan record, when this run was planned.
+
+        Plans live inside the recorded workload (``workload.filter.plan``) —
+        the workload *is* the resolved spec, so a planned run's provenance
+        travels with the same dictionary every shard and merge validates.
+        """
+        filter_section = self.workload.get("filter") or {}
+        record = filter_section.get(K.PLAN)
+        return dict(record) if isinstance(record, dict) else None
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #

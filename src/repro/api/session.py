@@ -100,6 +100,7 @@ class Session:
         self._references: dict[str, Any] = {}
         self._indexes: dict[tuple[str, int], Any] = {}
         self._executors: dict[tuple[str, int], "Executor"] = {}
+        self._plans: dict[tuple[Any, ...], Any] = {}
         # Serialises cache construction only (runs are pure and unlocked);
         # re-entrant because index_for builds through reference_for.
         self._lock = threading.RLock()
@@ -109,6 +110,9 @@ class Session:
     # ------------------------------------------------------------------ #
     def engine_for(self, workload: Workload, read_length: int) -> Any:
         """The cached engine/cascade for a workload's filter + execution spec."""
+        from ..planner.guard import ensure_resolved
+
+        ensure_resolved(workload)
         ex = workload.execution
         key = (
             workload.filter.filters,
@@ -191,6 +195,11 @@ class Session:
         overhead.  Pools (threads/processes) are built once per
         ``(backend, workers)`` configuration and live until :meth:`close`.
         """
+        from ..planner.guard import ensure_resolved
+
+        # An executor pool is a fan-out: the filter choice must already be
+        # pinned, or workers could not be guaranteed to agree with the plan.
+        ensure_resolved(workload)
         ex = workload.execution
         if ex.executor == "serial" and ex.workers <= 1:
             return None
@@ -203,6 +212,34 @@ class Session:
                 executor = create_executor(ex.executor, ex.workers)
                 self._executors[key] = executor
             return executor
+
+    def cached_plan(self, key: "tuple[Any, ...] | None") -> Any:
+        """The cached planner :class:`~repro.planner.Plan` for a key, if any."""
+        if key is None:
+            return None
+        with self._lock:
+            return self._plans.get(key)
+
+    def cache_plan(self, key: "tuple[Any, ...] | None", plan: Any) -> None:
+        """Remember a planner decision (no-op for uncacheable keys)."""
+        if key is None:
+            return
+        with self._lock:
+            self._plans[key] = plan
+
+    def probe_pairs(self, workload: Workload, n: int) -> "list[tuple[str, str]]":
+        """The first ``min(n, total)`` pairs of the workload's input.
+
+        This is the planner's probe prefix: both execution modes consume the
+        same underlying pair order (the streaming source iterator *is* the
+        in-memory dataset order for ``dataset``/``pairs`` inputs), so the
+        probe — and with it the plan — is independent of how the run will
+        later execute.
+        """
+        import itertools
+
+        pairs, _name = self._streaming_pairs(workload)
+        return list(itertools.islice(pairs, int(n)))
 
     def close(self) -> None:
         """Shut down every cached execution backend (pools, shared memory).
@@ -231,6 +268,7 @@ class Session:
             "references": len(self._references),
             "indexes": len(self._indexes),
             "executors": len(self._executors),
+            "plans": len(self._plans),
         }
 
     # ------------------------------------------------------------------ #
@@ -244,6 +282,13 @@ class Session:
         """
         if isinstance(workload, (str, Path)):
             workload = Workload.from_file(workload)
+        if workload.filter.is_auto:
+            # Resolve 'auto' here — the single planning point — so every
+            # path below (engines, executor fan-outs, streaming) sees a
+            # concrete, plan-stamped cascade.
+            from ..planner import resolve_workload
+
+            workload = resolve_workload(self, workload)
         kind = workload.input.kind
         if kind == "mapping":
             return self._run_mapping(workload)

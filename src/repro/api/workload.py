@@ -20,12 +20,16 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
+from .. import _schema as K
 from .._defaults import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_CHUNK_SIZE,
     DEFAULT_ERROR_THRESHOLD,
     DEFAULT_MAX_CANDIDATES_PER_READ,
     DEFAULT_N_PAIRS,
+    DEFAULT_PLANNER_FALSE_ACCEPT_BUDGET,
+    DEFAULT_PLANNER_MAX_STAGES,
+    DEFAULT_PLANNER_SAMPLE_PAIRS,
     DEFAULT_READ_LENGTH,
     DEFAULT_SEEDING_K,
 )
@@ -33,6 +37,7 @@ from .._defaults import (
 __all__ = [
     "InputSpec",
     "FilterSpec",
+    "PlannerSpec",
     "ExecutionSpec",
     "ShardSpec",
     "OutputSpec",
@@ -201,11 +206,77 @@ class InputSpec:
 
 
 @dataclass(frozen=True)
+class PlannerSpec:
+    """Knobs of the adaptive cascade planner (``[filter.planner]``).
+
+    Only meaningful together with ``filter = "auto"``: ``sample_pairs`` caps
+    the probe prefix the planner measures, ``false_accept_budget`` is the
+    accept-rate excess (fraction of the probe) a candidate may show over the
+    tightest candidate and still be admissible, ``max_stages`` bounds the
+    cascade length searched, and ``candidates`` — when given — replaces the
+    generated candidate set with explicit cascades.
+    """
+
+    sample_pairs: int = DEFAULT_PLANNER_SAMPLE_PAIRS
+    false_accept_budget: float = DEFAULT_PLANNER_FALSE_ACCEPT_BUDGET
+    max_stages: int = DEFAULT_PLANNER_MAX_STAGES
+    candidates: "tuple[tuple[str, ...], ...] | None" = None
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.sample_pairs, int) and self.sample_pairs >= 1,
+                 "filter.planner.sample_pairs", "must be a positive integer")
+        budget = self.false_accept_budget
+        if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+            raise _err("filter.planner.false_accept_budget",
+                       f"expected a number, got {budget!r}")
+        object.__setattr__(self, "false_accept_budget", float(budget))
+        _require(0.0 <= self.false_accept_budget <= 1.0,
+                 "filter.planner.false_accept_budget", "must be in [0, 1]")
+        _require(isinstance(self.max_stages, int) and 1 <= self.max_stages <= 3,
+                 "filter.planner.max_stages", "must be between 1 and 3")
+        if self.candidates is not None:
+            from ..engine.registry import available_filters
+
+            known = available_filters()
+            _require(
+                isinstance(self.candidates, (list, tuple)) and len(self.candidates) > 0,
+                "filter.planner.candidates",
+                "expected a non-empty list of cascades (lists of filter names)",
+            )
+            normalised = []
+            for i, cand in enumerate(self.candidates):
+                if isinstance(cand, str):
+                    cand = (cand,)
+                _require(isinstance(cand, (list, tuple)) and len(cand) > 0,
+                         f"filter.planner.candidates[{i}]",
+                         "expected a non-empty list of filter names")
+                names = tuple(str(name) for name in cand)
+                for name in names:
+                    _require(name in known, f"filter.planner.candidates[{i}]",
+                             f"unknown filter {name!r} (available: {known})")
+                _require(len(set(names)) == len(names),
+                         f"filter.planner.candidates[{i}]",
+                         "a cascade may not repeat a filter")
+                normalised.append(names)
+            object.__setattr__(self, "candidates", tuple(normalised))
+
+
+@dataclass(frozen=True)
 class FilterSpec:
-    """Which filter (or cascade of filters) examines the pairs."""
+    """Which filter (or cascade of filters) examines the pairs.
+
+    ``filters = ("auto",)`` defers the choice to the adaptive planner
+    (:mod:`repro.planner`): :meth:`Session.run` / ``repro shard`` probe a
+    prefix of the input, pick the cheapest admissible cascade, and replace
+    the spec with the concrete choice plus a frozen ``plan`` record before
+    anything fans out.  ``planner`` tunes that search; ``plan`` appears only
+    on resolved workloads and carries the decision's provenance.
+    """
 
     filters: tuple[str, ...] = ("gatekeeper-gpu",)
     error_threshold: int = DEFAULT_ERROR_THRESHOLD
+    planner: "PlannerSpec | None" = None
+    plan: "dict[str, Any] | None" = None
 
     def __post_init__(self) -> None:
         filters = self.filters
@@ -215,18 +286,69 @@ class FilterSpec:
                  "filter.filters", "expected a non-empty list of filter names")
         filters = tuple(str(name) for name in filters)
         object.__setattr__(self, "filters", filters)
-        from ..engine.registry import available_filters
+        if "auto" in filters:
+            _require(len(filters) == 1, "filter.filters",
+                     "'auto' defers the choice to the planner and cannot be "
+                     "combined with other filters")
+        else:
+            from ..engine.registry import available_filters
 
-        known = available_filters()
-        for name in filters:
-            _require(name in known, "filter.filters",
-                     f"unknown filter {name!r} (available: {known})")
+            known = available_filters()
+            for name in filters:
+                _require(name in known, "filter.filters",
+                         f"unknown filter {name!r} (available: {known})")
         _require(self.error_threshold >= 0, "filter.error_threshold",
                  "must be non-negative")
+        if self.planner is not None and not isinstance(self.planner, PlannerSpec):
+            object.__setattr__(
+                self,
+                "planner",
+                _build_section(PlannerSpec, "filter.planner", self.planner),
+            )
+        _require(self.planner is None or self.is_auto, "filter.planner",
+                 "only applies when filter = 'auto'")
+        if self.plan is not None:
+            _require(not self.is_auto, "filter.plan",
+                     "a plan record only appears on a resolved workload "
+                     "(filters must name the chosen cascade, not 'auto')")
+            self._check_plan(self.plan, filters)
+
+    def _check_plan(self, plan: Any, filters: "tuple[str, ...]") -> None:
+        """Light validation of a frozen plan record (full trust stays with
+        :mod:`repro.planner`, which wrote it)."""
+        if not isinstance(plan, Mapping):
+            raise _err("filter.plan", f"expected a table/object, got {plan!r}")
+        unknown = set(plan) - set(K.PLAN_KEYS)
+        if unknown:
+            raise _err("filter.plan",
+                       f"unknown key(s) {sorted(unknown)} "
+                       f"(expected a subset of {sorted(K.PLAN_KEYS)})")
+        version = plan.get(K.PLANNER_VERSION)
+        _require(isinstance(version, int) and not isinstance(version, bool)
+                 and version >= 1,
+                 f"filter.plan.{K.PLANNER_VERSION}", "must be a positive integer")
+        cascade = plan.get(K.CASCADE)
+        _require(isinstance(cascade, (list, tuple))
+                 and tuple(str(n) for n in cascade) == filters,
+                 f"filter.plan.{K.CASCADE}",
+                 f"must match filter.filters {list(filters)}; got {cascade!r}")
+        probe = plan.get(K.PROBE_PAIRS)
+        _require(isinstance(probe, int) and not isinstance(probe, bool)
+                 and probe >= 1,
+                 f"filter.plan.{K.PROBE_PAIRS}", "must be a positive integer")
+        # Canonicalise to a plain JSON-shaped copy so spec equality (and the
+        # shard-set identity check of ``repro merge``) never depends on how
+        # the record was constructed.
+        object.__setattr__(self, "plan", json.loads(json.dumps(plan, sort_keys=True)))
 
     @property
     def is_cascade(self) -> bool:
         return len(self.filters) > 1
+
+    @property
+    def is_auto(self) -> bool:
+        """True while the filter choice is still deferred to the planner."""
+        return self.filters == ("auto",)
 
 
 @dataclass(frozen=True)
@@ -366,6 +488,19 @@ class Workload:
                 not self.filter.is_cascade,
                 "filter.filters",
                 "mapping workloads take a single filter, not a cascade",
+            )
+        if self.filter.is_auto:
+            _require(
+                self.input.kind != "mapping",
+                "filter.filters",
+                "mapping workloads take a concrete filter; 'auto' planning "
+                "applies to filtering workloads only",
+            )
+            _require(
+                self.execution.shard is None,
+                "filter.filters",
+                "'auto' must be resolved to a concrete cascade before "
+                "sharding (repro shard plans once and pins the choice)",
             )
         if self.input.kind in ("tsv", "reads"):
             _require(
@@ -554,12 +689,27 @@ class Workload:
                 "stop": shard.stop,
                 "total": shard.total,
             }
+        filter_dict: dict[str, Any] = {
+            "filters": list(self.filter.filters),
+            "error_threshold": self.filter.error_threshold,
+        }
+        if self.filter.planner is not None:
+            planner = self.filter.planner
+            planner_dict: dict[str, Any] = {
+                "sample_pairs": planner.sample_pairs,
+                "false_accept_budget": planner.false_accept_budget,
+                "max_stages": planner.max_stages,
+            }
+            if planner.candidates is not None:
+                planner_dict["candidates"] = [list(c) for c in planner.candidates]
+            filter_dict["planner"] = planner_dict
+        if self.filter.plan is not None:
+            filter_dict["plan"] = json.loads(
+                json.dumps(self.filter.plan, sort_keys=True)
+            )
         return {
             "input": input_dict,
-            "filter": {
-                "filters": list(self.filter.filters),
-                "error_threshold": self.filter.error_threshold,
-            },
+            "filter": filter_dict,
             "execution": execution_dict,
             "output": {
                 "include_chunks": self.output.include_chunks,

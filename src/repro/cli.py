@@ -12,6 +12,8 @@ Five commands are installed with the package:
     byte-identical to ``repro run workload.toml``.  ``repro shard`` /
     ``repro merge`` split a workload into cluster shard jobs and reduce the
     per-shard results back into the single-run report (:mod:`repro.cluster`).
+    ``repro plan`` prints the adaptive planner's cascade choice for a
+    ``filter = "auto"`` workload without executing it (:mod:`repro.planner`).
 ``repro-filter``
     Filter a simulated candidate-pair pool with any registered filter
     (``--filter``) or cascade (``--cascade``).
@@ -53,6 +55,7 @@ from .analysis import format_table
 __all__ = [
     "main",
     "run_main",
+    "plan_main",
     "filter_main",
     "map_main",
     "experiment_main",
@@ -207,6 +210,65 @@ def run_main(argv: Sequence[str] | None = None) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro plan
+# --------------------------------------------------------------------------- #
+def plan_main(argv: Sequence[str] | None = None) -> int:
+    """Print the planner's decision for a ``filter = "auto"`` workload."""
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro plan",
+        description=(
+            "Probe a filter='auto' workload and print the planned cascade "
+            "with every candidate's cost-model estimates, without executing "
+            "the run"
+        ),
+    )
+    parser.add_argument("workload", help="path to a .toml or .json workload file")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the frozen plan record (the future workload.filter.plan) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from .planner import plan_workload
+
+    try:
+        workload = Workload.from_file(args.workload)
+        if not workload.filter.is_auto:
+            parser.error(
+                "workload.filter.filters: repro plan requires filter = 'auto' "
+                f"(got {list(workload.filter.filters)})"
+            )
+        with Session() as session:
+            plan = plan_workload(session, workload)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(str(exc))
+    if args.json:
+        sys.stdout.write(json.dumps(plan.record(), indent=2, sort_keys=True) + "\n")
+        return 0
+    rows = [
+        {
+            "cascade": " -> ".join(candidate.cascade),
+            "probe_accepts": candidate.probe_accepts,
+            "est_accepts": candidate.est_accepts,
+            "est_cost_s": round(candidate.est_cost_s, 6),
+            "admissible": candidate.admissible,
+            "chosen": "*" if candidate.chosen else "",
+        }
+        for candidate in sorted(plan.candidates, key=lambda c: c.est_cost_s)
+    ]
+    print(format_table(rows, title=f"Plan candidates ({workload.input.display_name()})"))
+    print()
+    print(
+        f"planned cascade: {' -> '.join(plan.cascade)}  "
+        f"[probe {plan.probe_pairs} of {plan.total_pairs} pairs, "
+        f"est cost {plan.est_cost_s:.6f}s, est accepts {plan.est_accepts}]"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # repro-filter
 # --------------------------------------------------------------------------- #
 def filter_main(argv: Sequence[str] | None = None) -> int:
@@ -222,8 +284,9 @@ def filter_main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--filter",
         default="gatekeeper-gpu",
-        choices=available_filters(),
-        help="pre-alignment filter to run (default: gatekeeper-gpu)",
+        choices=["auto", *available_filters()],
+        help="pre-alignment filter to run, or 'auto' to let the planner "
+        "choose the cheapest admissible cascade (default: gatekeeper-gpu)",
     )
     parser.add_argument(
         "--cascade",
@@ -335,8 +398,9 @@ def stream_main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--filter",
         default="gatekeeper-gpu",
-        choices=available_filters(),
-        help="pre-alignment filter to run (default: gatekeeper-gpu)",
+        choices=["auto", *available_filters()],
+        help="pre-alignment filter to run, or 'auto' to let the planner "
+        "choose the cheapest admissible cascade (default: gatekeeper-gpu)",
     )
     parser.add_argument(
         "--cascade",
@@ -501,6 +565,7 @@ def merge_main(argv: Sequence[str] | None = None) -> int:
 # --------------------------------------------------------------------------- #
 _COMMANDS = {
     "run": run_main,
+    "plan": plan_main,
     "filter": filter_main,
     "map": map_main,
     "stream": stream_main,
@@ -517,9 +582,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """The ``repro`` umbrella command: dispatch to a subcommand."""
     argv = list(sys.argv[1:] if argv is None else argv)
     usage = (
-        "usage: repro {run,filter,map,stream,experiment,lint,serve,submit,"
+        "usage: repro {run,plan,filter,map,stream,experiment,lint,serve,submit,"
         "shard,merge} ...\n\n"
         "  run         execute a declarative TOML/JSON workload file\n"
+        "  plan        print the planned cascade for a filter='auto' workload\n"
         "  filter      filter a simulated candidate-pair pool\n"
         "  map         run the mrFAST-like mapper on simulated reads\n"
         "  stream      stream real FASTQ/FASTA or pairs-TSV inputs\n"

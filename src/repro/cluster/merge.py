@@ -190,6 +190,15 @@ def _check_shard_set(shards: "list[_ShardResult]") -> "list[_ShardResult]":
             )
         diff = _first_diff(first.workload, shard.workload, "workload")
         if diff is not None:
+            if diff.startswith("workload.filter.plan"):
+                # A planner-record divergence means the shards were planned
+                # separately — the exact failure mode pinning exists to
+                # prevent; name it rather than reporting a generic spec diff.
+                raise ShardMismatchError(
+                    f"{diff}: shard planner records disagree ({first.label} vs "
+                    f"{shard.label}); 'auto' workloads must be resolved once "
+                    f"by `repro shard` / plan_shards, never per shard"
+                )
             raise ShardMismatchError(
                 f"{diff}: shard workloads disagree ({first.label} vs {shard.label}); "
                 f"every shard must run the same spec"

@@ -145,7 +145,11 @@ class ShardPlan:
         }
 
 
-def plan_shards(workload: "Workload | Mapping[str, Any]", n_shards: int) -> ShardPlan:
+def plan_shards(
+    workload: "Workload | Mapping[str, Any]",
+    n_shards: int,
+    session: Any = None,
+) -> ShardPlan:
     """Split a workload's input range into ``n_shards`` shard workloads.
 
     In-memory plans split the pair range nearly evenly; streaming plans
@@ -153,11 +157,30 @@ def plan_shards(workload: "Workload | Mapping[str, Any]", n_shards: int) -> Shar
     :class:`ShardPlanError` when the workload cannot be sharded (mapping or
     in-memory-pairs input, an existing ``execution.shard`` section, or more
     shards than pairs/chunks).
+
+    A ``filter = "auto"`` workload is planned **here, once** — the resolved
+    cascade (plus its frozen ``filter.plan`` record) is pinned into every
+    shard workload file exactly as ``execution.shard`` is, so all shards are
+    guaranteed to run the same choice the single-node run makes.  ``session``
+    supplies the probe machinery (a throwaway :class:`~repro.api.Session` is
+    created when omitted).
     """
     if not isinstance(workload, Workload):
         workload = Workload.from_dict(workload)
     if n_shards < 1:
         raise ShardPlanError("n_shards: must be at least 1")
+    if workload.filter.is_auto:
+        from ..api.session import Session
+        from ..planner import resolve_workload
+
+        if session is None:
+            with Session() as own_session:
+                workload = resolve_workload(own_session, workload)
+        else:
+            workload = resolve_workload(session, workload)
+    from ..planner.guard import ensure_resolved
+
+    ensure_resolved(workload)
     if workload.execution.shard is not None:
         raise ShardPlanError(
             "workload.execution.shard: the workload is already a shard; "

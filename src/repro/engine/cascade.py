@@ -109,6 +109,29 @@ class FilterCascade:
             ]
         )
 
+    @classmethod
+    def from_plan(
+        cls,
+        plan: "dict[str, Any]",
+        read_length: int,
+        error_threshold: int,
+        **engine_kwargs: Any,
+    ) -> "FilterCascade":
+        """Build the cascade a frozen planner record chose.
+
+        ``plan`` is a ``filter.plan`` record as emitted by
+        :meth:`repro.planner.Plan.record` (or read back out of a resolved
+        workload / Result); only its ``cascade`` stage list is consumed.
+        """
+        names = plan.get(K.CASCADE)
+        if not isinstance(names, (list, tuple)) or not names:
+            raise ValueError(
+                f"plan record has no usable {K.CASCADE!r} stage list: {names!r}"
+            )
+        return cls.from_names(
+            [str(name) for name in names], read_length, error_threshold, **engine_kwargs
+        )
+
     # ------------------------------------------------------------------ #
     # Introspection helpers
     # ------------------------------------------------------------------ #

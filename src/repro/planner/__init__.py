@@ -1,0 +1,42 @@
+"""Adaptive cascade planning for ``filter = "auto"`` workloads.
+
+Given a workload that defers its filter choice to the system, this package
+probes a deterministic prefix of the input, scores candidate cascades with a
+calibrated cost model (probe + predicted stage costs + modelled
+verification of the survivors), and freezes the cheapest admissible choice
+into the workload *before* anything fans out — see
+:mod:`repro.planner.planner` for the model and
+:mod:`repro.planner.guard` for the fan-out guard.
+
+>>> from repro.api import Session, Workload
+>>> from repro.planner import plan_workload
+>>> workload = Workload.from_dict({
+...     "input": {"kind": "dataset", "dataset": "Set 1", "n_pairs": 100_000},
+...     "filter": {"filter": "auto"},
+... })
+>>> plan = plan_workload(Session(), workload)     # doctest: +SKIP
+>>> plan.cascade                                  # doctest: +SKIP
+('shouji',)
+"""
+
+from .guard import ensure_resolved
+from .planner import (
+    PLANNER_VERSION,
+    CandidateEstimate,
+    Plan,
+    filter_cost_per_pair,
+    plan_cache_key,
+    plan_workload,
+    resolve_workload,
+)
+
+__all__ = [
+    "PLANNER_VERSION",
+    "CandidateEstimate",
+    "Plan",
+    "ensure_resolved",
+    "filter_cost_per_pair",
+    "plan_cache_key",
+    "plan_workload",
+    "resolve_workload",
+]

@@ -1,0 +1,32 @@
+"""The fan-out guard: no executor pools or shard files for an unplanned run.
+
+The determinism contract of ``filter = "auto"`` is that the planner decides
+*once*, before anything fans out — the same workload must choose the same
+cascade whether it runs serially, on a thread/process pool, or split across
+cluster shards.  :func:`ensure_resolved` is the runtime half of that
+contract (the static half is the ``planner-pinned-before-fanout`` rule of
+:mod:`repro.analysis.lint`): every code path that constructs an
+:class:`~repro.exec.executor.Executor` fan-out or a
+:class:`~repro.cluster.plan.ShardPlan` calls it first, so an unresolved
+``auto`` spec can never slip past the single planning point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ensure_resolved"]
+
+
+def ensure_resolved(workload: Any) -> Any:
+    """Raise unless the workload's filter choice is concrete (not ``"auto"``).
+
+    Returns the workload unchanged so the call composes in expressions.
+    """
+    if getattr(workload.filter, "is_auto", False):
+        raise ValueError(
+            "workload.filter.filters: 'auto' is unresolved — plan the workload "
+            "(Session.run, repro.planner.resolve_workload, or repro shard) "
+            "before building engines, executor fan-outs or shard files"
+        )
+    return workload

@@ -36,6 +36,13 @@ times (the analytic timing model is evaluated once on the final totals, with
 exactly the calls the in-memory path makes).  ``tests/test_runtime_streaming.py``
 locks this down for every registered filter and several chunk sizes, and
 ``tests/test_streaming_golden.py`` pins the totals on a checked-in fixture.
+
+The same per-pair determinism is what makes the adaptive planner's probe
+(:mod:`repro.planner`) mode-independent: the planner samples the *prefix* of
+the pair iterator — the pairs the streaming path would place in its first
+chunk(s), in the order the in-memory path indexes them — so a
+``filter = "auto"`` workload resolves to the same plan whether it later runs
+streamed or in memory, at any chunk size.
 """
 
 from __future__ import annotations

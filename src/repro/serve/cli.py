@@ -87,6 +87,29 @@ def serve_main(argv: "Sequence[str] | None" = None) -> int:
             "(lets supervisors and tests discover a --port 0 binding)"
         ),
     )
+    parser.add_argument(
+        "--planner-sample-pairs", type=int, default=None, metavar="N",
+        help=(
+            "daemon-wide planner probe size for filter='auto' workloads "
+            "without their own [filter.planner] section (default: no override)"
+        ),
+    )
+    parser.add_argument(
+        "--planner-budget", type=float, default=None, metavar="FRACTION",
+        help=(
+            "daemon-wide planner false-accept budget in [0, 1] for "
+            "filter='auto' workloads without their own [filter.planner] "
+            "section (default: no override)"
+        ),
+    )
+    parser.add_argument(
+        "--planner-max-stages", type=int, default=None, metavar="N",
+        help=(
+            "daemon-wide cap (1-3) on planned cascade length for "
+            "filter='auto' workloads without their own [filter.planner] "
+            "section (default: no override)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers must be at least 1")
@@ -94,15 +117,29 @@ def serve_main(argv: "Sequence[str] | None" = None) -> int:
         parser.error("--queue-depth must be at least 1")
     if args.max_request_bytes < 1:
         parser.error("--max-request-bytes must be at least 1")
+    planner_defaults: "dict[str, Any] | None" = None
+    planner_flags = {
+        "sample_pairs": args.planner_sample_pairs,
+        "false_accept_budget": args.planner_budget,
+        "max_stages": args.planner_max_stages,
+    }
+    if any(value is not None for value in planner_flags.values()):
+        planner_defaults = {
+            key: value for key, value in planner_flags.items() if value is not None
+        }
 
-    server = ReproServer(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        max_request_bytes=args.max_request_bytes,
-        kernel_tier=args.kernel_tier,
-    )
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            max_request_bytes=args.max_request_bytes,
+            kernel_tier=args.kernel_tier,
+            planner_defaults=planner_defaults,
+        )
+    except ValueError as exc:  # bad planner defaults, validated at construction
+        parser.error(str(exc))
     try:
         server.start()
     except OSError as exc:

@@ -40,7 +40,7 @@ from typing import Any
 
 from .. import _schema as K
 from ..api.session import Session
-from ..api.workload import Workload
+from ..api.workload import PlannerSpec, Workload
 from ..filters.native import validate_tier
 from . import protocol as P
 
@@ -111,6 +111,15 @@ class ReproServer:
         ``execution.kernel_tier`` at ``"auto"`` run with this tier instead; a
         workload that pinned ``"numpy"`` or ``"native"`` explicitly keeps its
         own choice.  ``None`` (the default) applies no override.
+    planner_defaults:
+        Daemon-wide ``[filter.planner]`` defaults (a mapping with
+        ``sample_pairs`` / ``false_accept_budget`` / ``max_stages`` /
+        ``candidates`` keys, validated at construction).  Submitted
+        ``filter = "auto"`` workloads that carry no ``planner`` section of
+        their own plan with these knobs; workloads with an explicit planner
+        section keep their own.  Because the resident session caches plans by
+        (input identity, threshold, planner knobs), repeated ``auto``
+        submissions for the same data plan exactly once.
     """
 
     def __init__(
@@ -123,6 +132,7 @@ class ReproServer:
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         session: "Session | None" = None,
         kernel_tier: "str | None" = None,
+        planner_defaults: "dict[str, Any] | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -133,6 +143,15 @@ class ReproServer:
         if kernel_tier is not None:
             validate_tier(kernel_tier)
         self.kernel_tier = kernel_tier
+        self.planner_defaults: "PlannerSpec | None" = None
+        if planner_defaults is not None:
+            from ..api.workload import _build_section
+
+            # Validate once, at daemon construction — a bad default should
+            # kill the server at startup, not every request at submit time.
+            self.planner_defaults = _build_section(
+                PlannerSpec, "filter.planner", planner_defaults
+            )
         self.host = host
         self.workers = int(workers)
         self.queue_depth = int(queue_depth)
@@ -339,6 +358,17 @@ class ReproServer:
             workload = workload.replace(
                 execution=dataclasses.replace(
                     workload.execution, kernel_tier=self.kernel_tier
+                )
+            )
+        if (
+            self.planner_defaults is not None
+            and workload.filter.is_auto
+            and workload.filter.planner is None
+        ):
+            # Daemon-wide planner knobs; an explicit [filter.planner] wins.
+            workload = workload.replace(
+                filter=dataclasses.replace(
+                    workload.filter, planner=self.planner_defaults
                 )
             )
         job = _Job(workload=workload, client=client, conn=conn)

@@ -210,7 +210,7 @@ class TestDispatcher:
     def test_no_args_prints_usage_to_stderr(self, capsys):
         assert main([]) == 2
         assert (
-            "repro {run,filter,map,stream,experiment,lint,serve,submit,shard,merge}"
+            "repro {run,plan,filter,map,stream,experiment,lint,serve,submit,shard,merge}"
             in capsys.readouterr().err
         )
 

@@ -84,6 +84,7 @@ class TestSessionReuse:
             "references": 1,
             "indexes": 1,
             "executors": 0,
+            "plans": 0,
         }
         engine = session.engine_for(
             workload, GOLDEN_FIXTURE["read_length"]

@@ -161,6 +161,38 @@ FIXTURES = [
         "from numba import njit\n",
         "from ..filters.native import resolve\n",
     ),
+    (
+        "planner-pinned-before-fanout",
+        "src/repro/api/fanout.py",
+        (
+            "def executor_for(self, workload):\n"
+            "    return create_executor(workload.execution)\n"
+        ),
+        (
+            "def executor_for(self, workload):\n"
+            "    ensure_resolved(workload)\n"
+            "    return create_executor(workload.execution)\n"
+        ),
+    ),
+    (
+        "planner-pinned-before-fanout",
+        "src/repro/cluster/shards.py",
+        (
+            "def plan(workload, n):\n"
+            "    return ShardPlan(workload=workload, n_shards=n)\n"
+        ),
+        (
+            "def plan(workload, n):\n"
+            "    workload = resolve_workload(session, workload)\n"
+            "    return ShardPlan(workload=workload, n_shards=n)\n"
+        ),
+    ),
+    (
+        "result-schema-keys",
+        "src/repro/planner/emit.py",
+        "record = {'planner_version': 1}\n",
+        "record = {K.PLANNER_VERSION: 1}\n",
+    ),
 ]
 
 
@@ -224,6 +256,44 @@ class TestScoping:
         )
         assert "native-kernel-parity" in rules_hit(
             source, "src/repro/filters/packed.py"
+        )
+
+    def test_planner_guard_after_fanout_is_flagged(self):
+        source = (
+            "def run(workload):\n"
+            "    ex = create_executor(workload.execution)\n"
+            "    ensure_resolved(workload)\n"
+            "    return ex\n"
+        )
+        assert "planner-pinned-before-fanout" in rules_hit(
+            source, "src/repro/api/x.py"
+        )
+
+    def test_planner_guard_in_outer_function_does_not_cover_closure(self):
+        source = (
+            "def run(workload):\n"
+            "    ensure_resolved(workload)\n"
+            "    def fan_out():\n"
+            "        return create_executor(workload.execution)\n"
+            "    return fan_out()\n"
+        )
+        assert "planner-pinned-before-fanout" in rules_hit(
+            source, "src/repro/api/x.py"
+        )
+
+    def test_planner_rule_scoped_to_api_and_cluster(self):
+        source = (
+            "def run(workload):\n"
+            "    return create_executor(workload.execution)\n"
+        )
+        assert "planner-pinned-before-fanout" not in rules_hit(
+            source, "src/repro/exec/fanout.py"
+        )
+
+    def test_schema_keys_rule_covers_planner_package(self):
+        source = "record = {'probe_cost_s': 0.5}\n"
+        assert "result-schema-keys" in rules_hit(
+            source, "src/repro/planner/x.py"
         )
 
     def test_lambda_fallback_registration_is_flagged(self):
